@@ -1,0 +1,168 @@
+// Command pdw runs PathDriver-Wash (or the DAWO baseline) on one of the
+// paper's benchmarks and prints the optimized execution procedure.
+//
+// Usage:
+//
+//	pdw -bench PCR                 # run PDW on the PCR benchmark
+//	pdw -bench IVD -method dawo    # run the baseline
+//	pdw -bench PCR -gantt -paths   # also print the Gantt chart and paths
+//	pdw -file assay.json           # run a custom JSON assay
+//	pdw -bench PCR -export         # dump a benchmark as JSON
+//	pdw -list                      # list available benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/assayio"
+	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/dawo"
+	"pathdriverwash/internal/demandwash"
+	"pathdriverwash/internal/pdw"
+	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/scheduleio"
+	"pathdriverwash/internal/synth"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "PCR", "benchmark name (see -list)")
+		file      = flag.String("file", "", "JSON assay file (overrides -bench)")
+		export    = flag.Bool("export", false, "print the selected benchmark as JSON and exit")
+		method    = flag.String("method", "pdw", "optimizer: pdw or dawo")
+		gantt     = flag.Bool("gantt", false, "print the schedule Gantt chart")
+		paths     = flag.Bool("paths", false, "print every flow path (Table I style)")
+		chipArt   = flag.Bool("chip", false, "print the chip layout")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		pathTL    = flag.Duration("path-time", 3*time.Second, "wash-path ILP time limit")
+		winTL     = flag.Duration("window-time", 10*time.Second, "time-window MILP time limit")
+		heuristic = flag.Bool("heuristic", false, "use BFS paths and greedy windows (no ILP)")
+		outJSON   = flag.String("out", "", "write the optimized schedule as JSON to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range benchmarks.All() {
+			ops, _, tasks := b.Assay.Stats()
+			devs := 0
+			for _, d := range b.Config.Devices {
+				devs += d.Count
+			}
+			fmt.Printf("%-14s |O|=%d |D|=%d |E|=%d\n", b.Name, ops, devs, tasks)
+		}
+		return
+	}
+
+	var a *assay.Assay
+	var cfg synth.Config
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		a, cfg, err = assayio.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		b, err := benchmarks.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		a, cfg = b.Assay, b.Config
+	}
+	if *export {
+		if err := assayio.Encode(os.Stdout, a, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	syn, err := synth.Synthesize(a, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assay %s: chip %dx%d, %d devices, wash-free makespan %ds\n",
+		a.Name, syn.Chip.W, syn.Chip.H, len(syn.Chip.Devices()), syn.Schedule.Makespan())
+	if *chipArt {
+		fmt.Println(syn.Chip.Render())
+	}
+
+	ref, err := pdw.CompressBase(syn.Schedule, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out *schedule.Schedule
+	switch *method {
+	case "pdw":
+		res, err := pdw.Optimize(syn.Schedule, pdw.Options{
+			PathTimeLimit: *pathTL, WindowTimeLimit: *winTL,
+			HeuristicPaths: *heuristic, HeuristicWindows: *heuristic,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Schedule
+		fmt.Printf("PDW: %d washes (%d integrated removals), windows optimal: %v, objective %.2f\n",
+			len(res.Washes), res.IntegratedRemovals, res.WindowsOptimal, res.Objective)
+		fmt.Printf("necessity analysis: %v\n", res.Skips)
+	case "dawo":
+		res, err := dawo.Optimize(syn.Schedule, dawo.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Schedule
+		fmt.Printf("DAWO: %d washes in %d rounds\n", len(res.Washes), res.Rounds)
+	case "demand":
+		res, err := demandwash.Optimize(syn.Schedule, demandwash.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		out = res.Schedule
+		fmt.Printf("demand-driven: %d washes in %d rounds\n", len(res.Washes), res.Rounds)
+	default:
+		fatal(fmt.Errorf("unknown method %q (want pdw, dawo or demand)", *method))
+	}
+
+	m := out.ComputeMetrics(ref)
+	fmt.Printf("N_wash=%d  L_wash=%.0f mm  T_delay=%ds  T_assay=%ds  avg-wait=%.2fs  wash-time=%ds\n",
+		m.NWash, m.LWashMM, m.TDelay, m.TAssay, m.AvgWaitSeconds, m.TotalWashSeconds)
+
+	if *paths {
+		fmt.Println("\nflow paths:")
+		for _, t := range out.SortedByStart() {
+			if !t.Kind.Fluidic() || !t.Active() {
+				continue
+			}
+			fmt.Printf("  %-14s [%2d,%2d) %s\n", t.ID, t.Start, t.End, t.Path.Describe(out.Chip))
+		}
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Println(out.Gantt())
+	}
+	if *outJSON != "" {
+		f, err := os.Create(*outJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := scheduleio.Encode(f, out); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedule written to %s\n", *outJSON)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdw:", err)
+	os.Exit(1)
+}

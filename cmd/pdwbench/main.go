@@ -1,0 +1,86 @@
+// Command pdwbench regenerates the paper's evaluation artifacts: the
+// Table II comparison between DAWO and PathDriver-Wash, the Fig. 4
+// average-waiting-time chart, and the Fig. 5 total-wash-time chart, over
+// the eight benchmarks of Sec. IV.
+//
+// Usage:
+//
+//	pdwbench              # Table II + Fig. 4 + Fig. 5
+//	pdwbench -table2      # only Table II
+//	pdwbench -csv         # machine-readable CSV
+//	pdwbench -paper       # measured-vs-paper improvement comparison
+//	pdwbench -quick       # smaller solver budgets (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pathdriverwash/internal/harness"
+	"pathdriverwash/internal/pdw"
+	"pathdriverwash/internal/report"
+)
+
+func main() {
+	var (
+		table2 = flag.Bool("table2", false, "print Table II only")
+		fig4   = flag.Bool("fig4", false, "print Fig. 4 only")
+		fig5   = flag.Bool("fig5", false, "print Fig. 5 only")
+		csv    = flag.Bool("csv", false, "print CSV only")
+		paper  = flag.Bool("paper", false, "print measured-vs-paper comparison only")
+		quick  = flag.Bool("quick", false, "small solver budgets")
+		winTL  = flag.Duration("window-time", 10*time.Second, "time-window MILP limit per benchmark")
+		pathTL = flag.Duration("path-time", 3*time.Second, "wash-path ILP limit per path")
+		par    = flag.Int("parallel", 1, "benchmarks run concurrently (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := harness.Options{PDW: pdw.Options{
+		PathTimeLimit: *pathTL, WindowTimeLimit: *winTL,
+	}}
+	if *quick {
+		opts.PDW.PathTimeLimit = 500 * time.Millisecond
+		opts.PDW.WindowTimeLimit = 2 * time.Second
+		opts.BaseCompressLimit = time.Second
+	}
+
+	start := time.Now()
+	var outs []*harness.Outcome
+	var err error
+	if *par == 1 {
+		outs, err = harness.RunAll(opts)
+	} else {
+		outs, err = harness.RunAllParallel(opts, *par)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdwbench:", err)
+		os.Exit(1)
+	}
+	rows := harness.Rows(outs)
+
+	all := !*table2 && !*fig4 && !*fig5 && !*csv && !*paper
+	if all || *table2 {
+		fmt.Println(report.TableII(rows))
+	}
+	if all || *fig4 {
+		fmt.Println(report.Fig4(rows))
+	}
+	if all || *fig5 {
+		fmt.Println(report.Fig5(rows))
+	}
+	if *csv {
+		fmt.Print(report.CSV(rows))
+	}
+	if all || *paper {
+		fmt.Println(report.ComparisonTable(harness.PaperComparisons(outs)))
+	}
+	if all {
+		for _, o := range outs {
+			fmt.Printf("%-14s DAWO %6.2fs  PDW %6.2fs (windows optimal: %v)\n",
+				o.Benchmark.Name, o.DAWOTime.Seconds(), o.PDWTime.Seconds(), o.PDW.WindowsOptimal)
+		}
+		fmt.Printf("total runtime: %.1fs\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,3 @@
+module pathdriverwash
+
+go 1.22

@@ -1,0 +1,339 @@
+// Package assay models bioassay protocols as the sequencing graphs
+// G(O,E) of the paper: O is a set of biochemical operations with fixed
+// execution times, E the data dependencies between them. Operations also
+// declare which external reagents they consume, which fluid type they
+// produce, and which device kind they must be bound to.
+package assay
+
+import (
+	"fmt"
+	"sort"
+
+	"pathdriverwash/internal/grid"
+)
+
+// FluidType identifies a fluid sample/reagent class. Two fluids of the
+// same type do not contaminate each other (the Type-2 skip rule).
+type FluidType string
+
+// Waste is the distinguished fluid type of discarded product. Channels
+// that will only ever carry waste never need washing (Type-3 skip rule).
+const Waste FluidType = "waste"
+
+// OpKind is the biochemical operation class.
+type OpKind string
+
+// Operation kinds used by the benchmark suites.
+const (
+	Mix    OpKind = "mix"
+	Heat   OpKind = "heat"
+	Detect OpKind = "detect"
+	Filter OpKind = "filter"
+	Dilute OpKind = "dilute"
+	Store  OpKind = "store"
+)
+
+// DeviceKindFor maps an operation kind to the device kind it binds to.
+func DeviceKindFor(k OpKind) grid.DeviceKind {
+	switch k {
+	case Mix:
+		return grid.Mixer
+	case Heat:
+		return grid.Heater
+	case Detect:
+		return grid.Detector
+	case Filter:
+		return grid.Filter
+	case Dilute:
+		return grid.Diluter
+	case Store:
+		return grid.Storage
+	}
+	return grid.DeviceKind(string(k))
+}
+
+// Operation is one node o_i of the sequencing graph.
+type Operation struct {
+	// ID is unique within the assay (e.g. "o1").
+	ID string
+	// Kind selects the required device kind.
+	Kind OpKind
+	// Duration is the execution time t(o_i) in seconds, Eq. (1).
+	Duration int
+	// Output is the fluid type of the operation's product out_i.
+	Output FluidType
+	// Reagents are external inputs injected from flow ports before the
+	// operation can start (in addition to predecessor products).
+	Reagents []FluidType
+	// DiscardResult marks terminal operations whose product is flushed
+	// to a waste port rather than transported onward.
+	DiscardResult bool
+}
+
+// String renders the operation compactly.
+func (o *Operation) String() string {
+	return fmt.Sprintf("%s(%s,%ds)", o.ID, o.Kind, o.Duration)
+}
+
+// Edge is one dependency e_{j,i}: operation To consumes the product of
+// operation From, so a transport task p_{j,i,1} moves out_j to d_i.
+type Edge struct {
+	From, To string
+}
+
+// Assay is a full sequencing graph.
+type Assay struct {
+	Name  string
+	ops   []*Operation
+	byID  map[string]*Operation
+	edges []Edge
+}
+
+// New creates an empty assay.
+func New(name string) *Assay {
+	return &Assay{Name: name, byID: map[string]*Operation{}}
+}
+
+// AddOp appends an operation. The ID must be unique and duration positive.
+func (a *Assay) AddOp(op *Operation) error {
+	if op.ID == "" {
+		return fmt.Errorf("assay: operation with empty ID")
+	}
+	if _, dup := a.byID[op.ID]; dup {
+		return fmt.Errorf("assay: duplicate operation %q", op.ID)
+	}
+	if op.Duration <= 0 {
+		return fmt.Errorf("assay: operation %q has non-positive duration %d", op.ID, op.Duration)
+	}
+	if op.Output == "" {
+		return fmt.Errorf("assay: operation %q has no output fluid type", op.ID)
+	}
+	a.ops = append(a.ops, op)
+	a.byID[op.ID] = op
+	return nil
+}
+
+// MustAddOp is AddOp for hand-built benchmark definitions; it panics on
+// error so malformed benchmarks fail loudly at init time.
+func (a *Assay) MustAddOp(op *Operation) *Assay {
+	if err := a.AddOp(op); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AddEdge appends dependency from -> to. Both operations must exist.
+func (a *Assay) AddEdge(from, to string) error {
+	if _, ok := a.byID[from]; !ok {
+		return fmt.Errorf("assay: edge source %q unknown", from)
+	}
+	if _, ok := a.byID[to]; !ok {
+		return fmt.Errorf("assay: edge target %q unknown", to)
+	}
+	if from == to {
+		return fmt.Errorf("assay: self edge on %q", from)
+	}
+	for _, e := range a.edges {
+		if e.From == from && e.To == to {
+			return fmt.Errorf("assay: duplicate edge %s->%s", from, to)
+		}
+	}
+	a.edges = append(a.edges, Edge{From: from, To: to})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (a *Assay) MustAddEdge(from, to string) *Assay {
+	if err := a.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Ops returns the operations in insertion order.
+func (a *Assay) Ops() []*Operation { return a.ops }
+
+// Edges returns the dependency edges in insertion order.
+func (a *Assay) Edges() []Edge { return a.edges }
+
+// Op returns the operation with the given ID, or nil.
+func (a *Assay) Op(id string) *Operation { return a.byID[id] }
+
+// Preds returns the IDs of the operations feeding op, sorted.
+func (a *Assay) Preds(id string) []string {
+	var out []string
+	for _, e := range a.edges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Succs returns the IDs of the operations consuming op's product, sorted.
+func (a *Assay) Succs(id string) []string {
+	var out []string
+	for _, e := range a.edges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sinks returns operations with no successors (assay outcomes), sorted.
+func (a *Assay) Sinks() []string {
+	var out []string
+	for _, o := range a.ops {
+		if len(a.Succs(o.ID)) == 0 {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sources returns operations with no predecessors, sorted.
+func (a *Assay) Sources() []string {
+	var out []string
+	for _, o := range a.ops {
+		if len(a.Preds(o.ID)) == 0 {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopoOrder returns the operation IDs in a deterministic topological
+// order (Kahn's algorithm, ties broken by insertion order). It fails if
+// the graph has a cycle.
+func (a *Assay) TopoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	for _, o := range a.ops {
+		indeg[o.ID] = 0
+	}
+	for _, e := range a.edges {
+		indeg[e.To]++
+	}
+	var ready []string
+	for _, o := range a.ops {
+		if indeg[o.ID] == 0 {
+			ready = append(ready, o.ID)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, o := range a.ops { // insertion order keeps determinism
+			for _, e := range a.edges {
+				if e.From == id && e.To == o.ID {
+					indeg[o.ID]--
+					if indeg[o.ID] == 0 {
+						ready = append(ready, o.ID)
+					}
+				}
+			}
+		}
+	}
+	if len(order) != len(a.ops) {
+		return nil, fmt.Errorf("assay: %q has a dependency cycle", a.Name)
+	}
+	return order, nil
+}
+
+// Levels assigns each operation its ASAP level: sources are level 0 and
+// every other op is one more than its deepest predecessor.
+func (a *Assay) Levels() (map[string]int, error) {
+	order, err := a.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := map[string]int{}
+	for _, id := range order {
+		l := 0
+		for _, p := range a.Preds(id) {
+			if lv[p]+1 > l {
+				l = lv[p] + 1
+			}
+		}
+		lv[id] = l
+	}
+	return lv, nil
+}
+
+// CriticalPathSeconds returns the length of the longest dependency chain
+// counting operation durations only (a lower bound on assay completion).
+func (a *Assay) CriticalPathSeconds() (int, error) {
+	order, err := a.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := map[string]int{}
+	best := 0
+	for _, id := range order {
+		start := 0
+		for _, p := range a.Preds(id) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[id] = start + a.byID[id].Duration
+		if finish[id] > best {
+			best = finish[id]
+		}
+	}
+	return best, nil
+}
+
+// DeviceKindsNeeded returns the set of device kinds the assay requires.
+func (a *Assay) DeviceKindsNeeded() []grid.DeviceKind {
+	seen := map[grid.DeviceKind]bool{}
+	var out []grid.DeviceKind
+	for _, o := range a.ops {
+		k := DeviceKindFor(o.Kind)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants: at least one operation, acyclic
+// dependencies, and every non-source operation either consumes reagents
+// or predecessor products.
+func (a *Assay) Validate() error {
+	if len(a.ops) == 0 {
+		return fmt.Errorf("assay: %q has no operations", a.Name)
+	}
+	if _, err := a.TopoOrder(); err != nil {
+		return err
+	}
+	for _, o := range a.ops {
+		if len(a.Preds(o.ID)) == 0 && len(o.Reagents) == 0 {
+			return fmt.Errorf("assay: source operation %q consumes nothing", o.ID)
+		}
+	}
+	return nil
+}
+
+// Stats summarises the graph for Table II's |O|/|E| columns plus the
+// fluidic-task count (reagent injections + transports).
+func (a *Assay) Stats() (ops, deps, fluidicTasks int) {
+	ops = len(a.ops)
+	deps = len(a.edges)
+	fluidicTasks = len(a.edges) // one transport per dependency
+	for _, o := range a.ops {
+		fluidicTasks += len(o.Reagents) // one injection per reagent
+		if o.DiscardResult || len(a.Succs(o.ID)) == 0 {
+			fluidicTasks++ // waste removal of the final product
+		}
+	}
+	return ops, deps, fluidicTasks
+}

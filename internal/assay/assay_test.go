@@ -1,0 +1,279 @@
+package assay
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathdriverwash/internal/grid"
+)
+
+// diamond builds the classic diamond DAG:
+//
+//	o1 -> o2 -> o4
+//	o1 -> o3 -> o4
+func diamond(t *testing.T) *Assay {
+	t.Helper()
+	a := New("diamond")
+	ops := []*Operation{
+		{ID: "o1", Kind: Mix, Duration: 3, Output: "f1", Reagents: []FluidType{"r1", "r2"}},
+		{ID: "o2", Kind: Heat, Duration: 2, Output: "f2"},
+		{ID: "o3", Kind: Detect, Duration: 4, Output: "f3"},
+		{ID: "o4", Kind: Mix, Duration: 1, Output: "f4"},
+	}
+	for _, o := range ops {
+		if err := a.AddOp(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"o1", "o2"}, {"o1", "o3"}, {"o2", "o4"}, {"o3", "o4"}} {
+		if err := a.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddOpErrors(t *testing.T) {
+	a := New("t")
+	if err := a.AddOp(&Operation{ID: "", Kind: Mix, Duration: 1, Output: "f"}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := a.AddOp(&Operation{ID: "o", Kind: Mix, Duration: 0, Output: "f"}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if err := a.AddOp(&Operation{ID: "o", Kind: Mix, Duration: 1, Output: ""}); err == nil {
+		t.Error("missing output should fail")
+	}
+	if err := a.AddOp(&Operation{ID: "o", Kind: Mix, Duration: 1, Output: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddOp(&Operation{ID: "o", Kind: Mix, Duration: 1, Output: "f"}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	a := diamond(t)
+	if err := a.AddEdge("o1", "oX"); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if err := a.AddEdge("oX", "o1"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := a.AddEdge("o1", "o1"); err == nil {
+		t.Error("self edge should fail")
+	}
+	if err := a.AddEdge("o1", "o2"); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	a := diamond(t)
+	if got := a.Preds("o4"); len(got) != 2 || got[0] != "o2" || got[1] != "o3" {
+		t.Errorf("Preds(o4) = %v", got)
+	}
+	if got := a.Succs("o1"); len(got) != 2 || got[0] != "o2" || got[1] != "o3" {
+		t.Errorf("Succs(o1) = %v", got)
+	}
+	if got := a.Preds("o1"); len(got) != 0 {
+		t.Errorf("Preds(o1) = %v", got)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	a := diamond(t)
+	if s := a.Sources(); len(s) != 1 || s[0] != "o1" {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := a.Sinks(); len(s) != 1 || s[0] != "o4" {
+		t.Errorf("Sinks = %v", s)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	a := diamond(t)
+	order, err := a.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range a.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %s->%s violated in order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	a := diamond(t)
+	o1, _ := a.TopoOrder()
+	for i := 0; i < 5; i++ {
+		o2, _ := a.TopoOrder()
+		if strings.Join(o1, ",") != strings.Join(o2, ",") {
+			t.Fatalf("nondeterministic topo order: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	a := New("cyc")
+	for _, id := range []string{"a", "b", "c"} {
+		if err := a.AddOp(&Operation{ID: id, Kind: Mix, Duration: 1, Output: "f", Reagents: []FluidType{"r"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.MustAddEdge("a", "b").MustAddEdge("b", "c").MustAddEdge("c", "a")
+	if _, err := a.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate must reject cyclic graph")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	a := diamond(t)
+	lv, err := a.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"o1": 0, "o2": 1, "o3": 1, "o4": 2}
+	for id, l := range want {
+		if lv[id] != l {
+			t.Errorf("level(%s) = %d want %d", id, lv[id], l)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	a := diamond(t)
+	cp, err := a.CriticalPathSeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1(3) -> o3(4) -> o4(1) = 8
+	if cp != 8 {
+		t.Fatalf("critical path = %d want 8", cp)
+	}
+}
+
+func TestDeviceKindsNeeded(t *testing.T) {
+	a := diamond(t)
+	kinds := a.DeviceKindsNeeded()
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	want := map[grid.DeviceKind]bool{grid.Mixer: true, grid.Heater: true, grid.Detector: true}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected kind %v", k)
+		}
+	}
+}
+
+func TestDeviceKindFor(t *testing.T) {
+	cases := map[OpKind]grid.DeviceKind{
+		Mix: grid.Mixer, Heat: grid.Heater, Detect: grid.Detector,
+		Filter: grid.Filter, Dilute: grid.Diluter, Store: grid.Storage,
+		OpKind("custom"): grid.DeviceKind("custom"),
+	}
+	for op, dev := range cases {
+		if got := DeviceKindFor(op); got != dev {
+			t.Errorf("DeviceKindFor(%v) = %v want %v", op, got, dev)
+		}
+	}
+}
+
+func TestValidateRequiresInputs(t *testing.T) {
+	a := New("noinput")
+	if err := a.AddOp(&Operation{ID: "o1", Kind: Mix, Duration: 1, Output: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err == nil {
+		t.Fatal("source op without reagents must fail validation")
+	}
+	if err := New("empty").Validate(); err == nil {
+		t.Fatal("empty assay must fail validation")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := diamond(t)
+	ops, deps, tasks := a.Stats()
+	if ops != 4 || deps != 4 {
+		t.Fatalf("ops,deps = %d,%d", ops, deps)
+	}
+	// 4 transports + 2 reagent injections + 1 sink waste removal.
+	if tasks != 7 {
+		t.Fatalf("fluidicTasks = %d want 7", tasks)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	o := &Operation{ID: "o9", Kind: Heat, Duration: 5, Output: "f"}
+	if o.String() != "o9(heat,5s)" {
+		t.Fatalf("String = %q", o.String())
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	a := New("p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddOp should panic on error")
+		}
+	}()
+	a.MustAddOp(&Operation{ID: "", Kind: Mix, Duration: 1, Output: "f"})
+}
+
+// Property: for random layered DAGs, TopoOrder respects every edge and
+// Levels is consistent with edges.
+func TestTopoPropertyQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		a := New("rand")
+		n := 3 + int(seed%8)
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			_ = a.AddOp(&Operation{ID: id, Kind: Mix, Duration: 1 + int(seed)%5, Output: FluidType(id), Reagents: []FluidType{"r"}})
+		}
+		// Add forward edges only (guaranteed acyclic).
+		s := uint32(seed)*2654435761 + 1
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s = s*1664525 + 1013904223
+				if s%3 == 0 {
+					_ = a.AddEdge(string(rune('a'+i)), string(rune('a'+j)))
+				}
+			}
+		}
+		order, err := a.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		lv, err := a.Levels()
+		if err != nil {
+			return false
+		}
+		for _, e := range a.Edges() {
+			if pos[e.From] >= pos[e.To] || lv[e.From] >= lv[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package assay
+
+import "fmt"
+
+// Merge composes several assays into one multiplexed protocol that runs
+// them concurrently on a single chip (the structure of the paper's
+// Kinase act-2 benchmark: three kinase assays side by side). Operation
+// IDs are prefixed with the source assay's name to stay unique; fluid
+// types are left untouched, so shared reagents (the same buffer used by
+// every lane) keep their Type-2 wash-skipping behaviour while distinct
+// samples still demand washes between lanes.
+func Merge(name string, parts ...*Assay) (*Assay, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("assay: Merge needs at least one part")
+	}
+	out := New(name)
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("assay: Merge with nil part")
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("assay: Merge part %q: %w", p.Name, err)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("assay: Merge has two parts named %q", p.Name)
+		}
+		seen[p.Name] = true
+		prefix := p.Name + "/"
+		for _, op := range p.Ops() {
+			cp := *op
+			cp.ID = prefix + op.ID
+			cp.Reagents = append([]FluidType(nil), op.Reagents...)
+			if err := out.AddOp(&cp); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range p.Edges() {
+			if err := out.AddEdge(prefix+e.From, prefix+e.To); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

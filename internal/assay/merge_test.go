@@ -1,0 +1,92 @@
+package assay
+
+import (
+	"strings"
+	"testing"
+)
+
+func lane(name string, sample FluidType) *Assay {
+	a := New(name)
+	a.MustAddOp(&Operation{ID: "m", Kind: Mix, Duration: 2, Output: FluidType(name + "-mix"),
+		Reagents: []FluidType{sample, "shared-buffer"}})
+	a.MustAddOp(&Operation{ID: "t", Kind: Detect, Duration: 2, Output: FluidType(name + "-mix")})
+	a.MustAddEdge("m", "t")
+	return a
+}
+
+func TestMergeBasics(t *testing.T) {
+	m, err := Merge("panel", lane("a", "sample-a"), lane("b", "sample-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ops()) != 4 || len(m.Edges()) != 2 {
+		t.Fatalf("ops=%d edges=%d", len(m.Ops()), len(m.Edges()))
+	}
+	if m.Op("a/m") == nil || m.Op("b/t") == nil {
+		t.Fatal("prefixed IDs missing")
+	}
+	// Both lanes share the buffer reagent (Type-2 opportunity preserved).
+	if m.Op("a/m").Reagents[1] != "shared-buffer" || m.Op("b/m").Reagents[1] != "shared-buffer" {
+		t.Fatal("shared reagents renamed")
+	}
+	// Edges stay within lanes.
+	for _, e := range m.Edges() {
+		if strings.Split(e.From, "/")[0] != strings.Split(e.To, "/")[0] {
+			t.Fatalf("cross-lane edge %v", e)
+		}
+	}
+}
+
+func TestMergeLeavesPartsUntouched(t *testing.T) {
+	a := lane("a", "s")
+	_, err := Merge("panel", a, lane("b", "s2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Op("m") == nil || a.Op("a/m") != nil {
+		t.Fatal("Merge mutated its input")
+	}
+	// Mutating the merged copy's reagents must not touch the source.
+	m, err := Merge("panel2", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Op("a/m").Reagents[0] = "changed"
+	if a.Op("m").Reagents[0] == "changed" {
+		t.Fatal("merged copy shares reagent slice with source")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge("empty"); err == nil {
+		t.Error("no parts must fail")
+	}
+	if _, err := Merge("nil", nil); err == nil {
+		t.Error("nil part must fail")
+	}
+	if _, err := Merge("dup", lane("x", "s"), lane("x", "s")); err == nil {
+		t.Error("duplicate part names must fail")
+	}
+	bad := New("bad") // empty assay fails validation
+	if _, err := Merge("withbad", bad); err == nil {
+		t.Error("invalid part must fail")
+	}
+}
+
+func TestMergedAssayStats(t *testing.T) {
+	m, err := Merge("panel", lane("a", "sa"), lane("b", "sb"), lane("c", "sc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, deps, tasks := m.Stats()
+	if ops != 6 || deps != 3 {
+		t.Fatalf("ops=%d deps=%d", ops, deps)
+	}
+	// 6 injections + 3 transports + 3 sink disposals.
+	if tasks != 12 {
+		t.Fatalf("tasks = %d want 12", tasks)
+	}
+}

@@ -1,0 +1,154 @@
+// Package assayio reads and writes bioassay protocols and synthesis
+// configurations as JSON, so custom assays can be fed to cmd/pdw
+// without recompiling. The format mirrors the sequencing-graph model:
+//
+//	{
+//	  "name": "my-assay",
+//	  "operations": [
+//	    {"id": "o1", "kind": "mix", "duration": 2, "output": "f1",
+//	     "reagents": ["r1", "r2"]},
+//	    {"id": "o2", "kind": "heat", "duration": 3, "output": "f2"}
+//	  ],
+//	  "edges": [{"from": "o1", "to": "o2"}],
+//	  "devices": [{"kind": "mixer", "count": 2}, {"kind": "heater", "count": 1}],
+//	  "flow_ports": 3,
+//	  "waste_ports": 3
+//	}
+package assayio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/synth"
+)
+
+// Document is the JSON representation of an assay plus its synthesis
+// configuration.
+type Document struct {
+	Name       string       `json:"name"`
+	Operations []Operation  `json:"operations"`
+	Edges      []Edge       `json:"edges"`
+	Devices    []DeviceSpec `json:"devices,omitempty"`
+	FlowPorts  int          `json:"flow_ports,omitempty"`
+	WastePorts int          `json:"waste_ports,omitempty"`
+	// Physical parameters (0 selects the defaults: 1 mm, 10 mm/s, 2 s).
+	CellLengthMM    float64 `json:"cell_length_mm,omitempty"`
+	FlowVelocityMMs float64 `json:"flow_velocity_mm_s,omitempty"`
+	DissolutionS    float64 `json:"dissolution_s,omitempty"`
+}
+
+// Operation is one sequencing-graph node.
+type Operation struct {
+	ID            string   `json:"id"`
+	Kind          string   `json:"kind"`
+	Duration      int      `json:"duration"`
+	Output        string   `json:"output"`
+	Reagents      []string `json:"reagents,omitempty"`
+	DiscardResult bool     `json:"discard_result,omitempty"`
+}
+
+// Edge is one dependency.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// DeviceSpec requests devices for synthesis.
+type DeviceSpec struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// Decode parses a JSON document and builds the assay and synthesis
+// configuration, validating both.
+func Decode(r io.Reader) (*assay.Assay, synth.Config, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, synth.Config{}, fmt.Errorf("assayio: %w", err)
+	}
+	return FromDocument(doc)
+}
+
+// FromDocument builds the assay and configuration from a parsed document.
+func FromDocument(doc Document) (*assay.Assay, synth.Config, error) {
+	if doc.Name == "" {
+		return nil, synth.Config{}, fmt.Errorf("assayio: missing assay name")
+	}
+	a := assay.New(doc.Name)
+	for _, op := range doc.Operations {
+		reagents := make([]assay.FluidType, len(op.Reagents))
+		for i, rg := range op.Reagents {
+			reagents[i] = assay.FluidType(rg)
+		}
+		if err := a.AddOp(&assay.Operation{
+			ID: op.ID, Kind: assay.OpKind(op.Kind), Duration: op.Duration,
+			Output: assay.FluidType(op.Output), Reagents: reagents,
+			DiscardResult: op.DiscardResult,
+		}); err != nil {
+			return nil, synth.Config{}, err
+		}
+	}
+	for _, e := range doc.Edges {
+		if err := a.AddEdge(e.From, e.To); err != nil {
+			return nil, synth.Config{}, err
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, synth.Config{}, err
+	}
+	cfg := synth.Config{
+		FlowPorts: doc.FlowPorts, WastePorts: doc.WastePorts,
+		CellLengthMM: doc.CellLengthMM, FlowVelocityMMs: doc.FlowVelocityMMs,
+		DissolutionS: doc.DissolutionS,
+	}
+	for _, d := range doc.Devices {
+		cfg.Devices = append(cfg.Devices, synth.DeviceSpec{
+			Kind: grid.DeviceKind(d.Kind), Count: d.Count,
+		})
+	}
+	return a, cfg, nil
+}
+
+// Encode writes the assay and configuration as indented JSON.
+func Encode(w io.Writer, a *assay.Assay, cfg synth.Config) error {
+	doc := ToDocument(a, cfg)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ToDocument converts an assay and configuration into the JSON shape.
+func ToDocument(a *assay.Assay, cfg synth.Config) Document {
+	doc := Document{
+		Name:            a.Name,
+		FlowPorts:       cfg.FlowPorts,
+		WastePorts:      cfg.WastePorts,
+		CellLengthMM:    cfg.CellLengthMM,
+		FlowVelocityMMs: cfg.FlowVelocityMMs,
+		DissolutionS:    cfg.DissolutionS,
+	}
+	for _, op := range a.Ops() {
+		reagents := make([]string, len(op.Reagents))
+		for i, rg := range op.Reagents {
+			reagents[i] = string(rg)
+		}
+		doc.Operations = append(doc.Operations, Operation{
+			ID: op.ID, Kind: string(op.Kind), Duration: op.Duration,
+			Output: string(op.Output), Reagents: reagents,
+			DiscardResult: op.DiscardResult,
+		})
+	}
+	for _, e := range a.Edges() {
+		doc.Edges = append(doc.Edges, Edge{From: e.From, To: e.To})
+	}
+	for _, d := range cfg.Devices {
+		doc.Devices = append(doc.Devices, DeviceSpec{Kind: string(d.Kind), Count: d.Count})
+	}
+	return doc
+}

@@ -1,0 +1,23 @@
+package assayio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the JSON decoder: it must never
+// panic, and any successfully decoded assay must validate.
+func FuzzDecode(f *testing.F) {
+	f.Add(sample)
+	f.Add(`{`)
+	f.Add(`{"name":"x","operations":[{"id":"a","kind":"mix","duration":1,"output":"f","reagents":["r"]}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		a, _, err := Decode(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid assay: %v", err)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+// Motivating returns the paper's running example of Figs. 1(c)/2: a
+// seven-operation bioassay over two input reagents, executed on a
+// hand-built chip with a filter, a mixer, a heater, two detectors, four
+// flow ports and four waste ports — the setting of Table I and the
+// optimized schedule of Fig. 3.
+//
+// The sequencing graph follows the narrative of Sec. II: r1 is filtered
+// (o1) and the filtrate both mixed with r2 (o2) and measured on
+// detector1 (o3); o2's product is measured on detector2 (o4); o3's
+// sample is incubated (o5); o4's and o5's products are combined (o6)
+// and the final mixture measured (o7). Detection does not transform its
+// sample, so o3/o4 keep their input fluid types — exactly the Type-2
+// situations discussed in Sec. II-A.
+func Motivating() (*assay.Assay, *grid.Chip, error) {
+	a := assay.New("motivating")
+	a.MustAddOp(&assay.Operation{ID: "o1", Kind: assay.Filter, Duration: 3, Output: "filtrate",
+		Reagents: []assay.FluidType{"r1"}}).
+		MustAddOp(&assay.Operation{ID: "o2", Kind: assay.Mix, Duration: 3, Output: "mix12",
+			Reagents: []assay.FluidType{"r2"}}).
+		MustAddOp(&assay.Operation{ID: "o3", Kind: assay.Detect, Duration: 2, Output: "filtrate"}).
+		MustAddOp(&assay.Operation{ID: "o4", Kind: assay.Detect, Duration: 2, Output: "mix12"}).
+		MustAddOp(&assay.Operation{ID: "o5", Kind: assay.Heat, Duration: 3, Output: "heated"}).
+		MustAddOp(&assay.Operation{ID: "o6", Kind: assay.Mix, Duration: 3, Output: "final"}).
+		MustAddOp(&assay.Operation{ID: "o7", Kind: assay.Detect, Duration: 2, Output: "final"})
+	a.MustAddEdge("o1", "o2").MustAddEdge("o1", "o3").
+		MustAddEdge("o2", "o4").MustAddEdge("o3", "o5").
+		MustAddEdge("o4", "o6").MustAddEdge("o5", "o6").
+		MustAddEdge("o6", "o7")
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	chip, err := motivatingChip()
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, chip, nil
+}
+
+// motivatingChip hand-builds a Fig. 2(a)-style layout: five devices on a
+// street grid, four flow ports (two top, two left) and four waste ports
+// (two bottom, two right).
+func motivatingChip() (*grid.Chip, error) {
+	c := grid.NewChip("motivating", 13, 13)
+	type dev struct {
+		id   string
+		kind grid.DeviceKind
+		at   geom.Rect
+	}
+	for _, d := range []dev{
+		{"filter", grid.Filter, geom.Rc(2, 2, 4, 4)},
+		{"detector1", grid.Detector, geom.Rc(8, 2, 10, 4)},
+		{"mixer", grid.Mixer, geom.Rc(5, 5, 7, 7)},
+		{"detector2", grid.Detector, geom.Rc(2, 8, 4, 10)},
+		{"heater", grid.Heater, geom.Rc(8, 8, 10, 10)},
+	} {
+		if _, err := c.AddDevice(d.id, d.kind, d.at); err != nil {
+			return nil, err
+		}
+	}
+	type port struct {
+		id   string
+		kind grid.PortKind
+		at   geom.Point
+	}
+	for _, p := range []port{
+		{"in1", grid.FlowPort, geom.Pt(1, 0)},
+		{"in2", grid.FlowPort, geom.Pt(7, 0)},
+		{"in3", grid.FlowPort, geom.Pt(0, 4)},
+		{"in4", grid.FlowPort, geom.Pt(0, 10)},
+		{"out1", grid.WastePort, geom.Pt(4, 12)},
+		{"out2", grid.WastePort, geom.Pt(12, 1)},
+		{"out3", grid.WastePort, geom.Pt(10, 12)},
+		{"out4", grid.WastePort, geom.Pt(12, 7)},
+	} {
+		if _, err := c.AddPort(p.id, p.kind, p.at); err != nil {
+			return nil, err
+		}
+	}
+	// Streets every third interior row/column (1, 4, 7, 10) plus the
+	// ring row/column 11 so the right/bottom ports connect.
+	for y := 1; y < 12; y++ {
+		for x := 1; x < 12; x++ {
+			if (x-1)%3 == 0 || (y-1)%3 == 0 {
+				if err := c.AddChannel(geom.Pt(x, y)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("motivating chip: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,213 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/synth"
+)
+
+// syntheticParams shapes one generated benchmark so that the published
+// |O| / |D| / |E| of Table II are matched exactly: the generator first
+// builds a layered DAG with the requested edge count, then distributes
+// exactly enough reagent injections to make the fluidic-task total hit
+// the |E| target (edges + injections + sink disposals).
+type syntheticParams struct {
+	name    string
+	ops     int
+	edges   int
+	tasks   int // |E| target: edges + injections + sinks
+	layers  int
+	seed    uint64
+	devices []synth.DeviceSpec
+	paper   PaperRow
+}
+
+// xorshift is a tiny deterministic PRNG so synthetic benchmarks never
+// change across Go releases (math/rand ordering is not guaranteed).
+type xorshift struct{ s uint64 }
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// opIndex parses "o<k>" back to its zero-based index.
+func opIndex(id string) int {
+	var k int
+	fmt.Sscanf(id, "o%d", &k)
+	return k - 1
+}
+
+var synthKinds = []assay.OpKind{assay.Mix, assay.Heat, assay.Detect, assay.Mix, assay.Dilute}
+
+// generate builds the synthetic assay.
+func generate(p syntheticParams) *Benchmark {
+	rng := &xorshift{s: p.seed}
+	a := assay.New(p.name)
+
+	// Operations over layers (round-robin), deterministic kinds/durations.
+	layerOf := make([]int, p.ops)
+	for i := 0; i < p.ops; i++ {
+		layerOf[i] = i * p.layers / p.ops
+		kind := synthKinds[rng.intn(len(synthKinds))]
+		dur := 2 + rng.intn(4)
+		a.MustAddOp(&assay.Operation{
+			ID: fmt.Sprintf("o%d", i+1), Kind: kind, Duration: dur,
+			Output: assay.FluidType(fmt.Sprintf("%s-f%d", p.name, i)),
+		})
+	}
+	// Forward edges between consecutive-ish layers until the edge budget
+	// is spent. Every non-first-layer op gets at least one predecessor.
+	edges := 0
+	hasSucc := make([]bool, p.ops)
+	for i := 0; i < p.ops && edges < p.edges; i++ {
+		if layerOf[i] == 0 {
+			continue
+		}
+		// Predecessor from an earlier layer, preferring ops that feed
+		// nothing yet: distinct edge sources keep the sink count (and
+		// hence the disposal count) minimal.
+		var fresh, cands []int
+		for j := 0; j < p.ops; j++ {
+			if layerOf[j] < layerOf[i] {
+				cands = append(cands, j)
+				if !hasSucc[j] {
+					fresh = append(fresh, j)
+				}
+			}
+		}
+		pool := fresh
+		if len(pool) == 0 {
+			pool = cands
+		}
+		pre := pool[rng.intn(len(pool))]
+		a.MustAddEdge(fmt.Sprintf("o%d", pre+1), fmt.Sprintf("o%d", i+1))
+		hasSucc[pre] = true
+		edges++
+	}
+	// Spend the remaining edge budget from current sinks first: deep
+	// chains keep the sink count (and hence the disposal count) low so
+	// the injection budget can cover every source.
+	for guard := 0; edges < p.edges && guard < 10*p.edges; guard++ {
+		var from int
+		sinks := a.Sinks()
+		picked := false
+		for attempt := 0; attempt < len(sinks); attempt++ {
+			cand := sinks[rng.intn(len(sinks))]
+			idx := opIndex(cand)
+			if layerOf[idx] < p.layers-1 {
+				from, picked = idx, true
+				break
+			}
+		}
+		if !picked {
+			from = rng.intn(p.ops)
+		}
+		to := rng.intn(p.ops)
+		if layerOf[from] >= layerOf[to] {
+			continue
+		}
+		if err := a.AddEdge(fmt.Sprintf("o%d", from+1), fmt.Sprintf("o%d", to+1)); err != nil {
+			continue // duplicate; try again
+		}
+		edges++
+	}
+
+	// Detection does not transform its sample: a single-input detect op
+	// outputs its predecessor's fluid, creating Type-2 skip
+	// opportunities just like the paper's motivating example.
+	for _, o := range a.Ops() {
+		if o.Kind != assay.Detect {
+			continue
+		}
+		if preds := a.Preds(o.ID); len(preds) == 1 {
+			o.Output = a.Op(preds[0]).Output
+		}
+	}
+
+	// Reagent budget: tasks = edges + injections + sinks.
+	sinks := len(a.Sinks())
+	injections := p.tasks - edges - sinks
+	if injections < len(a.Sources()) {
+		panic(fmt.Sprintf("benchmarks: %s needs %d injections but has %d sources",
+			p.name, injections, len(a.Sources())))
+	}
+	// Every source op needs at least one reagent; distribute the rest
+	// round-robin over all ops.
+	given := 0
+	for _, id := range a.Sources() {
+		op := a.Op(id)
+		op.Reagents = append(op.Reagents, assay.FluidType(fmt.Sprintf("%s-r%d", p.name, given)))
+		given++
+	}
+	i := 0
+	for given < injections {
+		op := a.Ops()[i%len(a.Ops())]
+		op.Reagents = append(op.Reagents, assay.FluidType(fmt.Sprintf("%s-r%d", p.name, given)))
+		given++
+		i++
+	}
+	if err := a.Validate(); err != nil {
+		panic(fmt.Sprintf("benchmarks: generated %s invalid: %v", p.name, err))
+	}
+	return &Benchmark{
+		Name:   p.name,
+		Assay:  a,
+		Config: synth.Config{Devices: p.devices},
+		Paper:  p.paper,
+	}
+}
+
+// Synthetic1 is the first generated workload. |O|=10, |D|=12, |E|=15.
+func Synthetic1() *Benchmark {
+	return generate(syntheticParams{
+		name: "Synthetic1", ops: 10, edges: 9, tasks: 15, layers: 4, seed: 101,
+		devices: []synth.DeviceSpec{
+			{Kind: grid.Mixer, Count: 4}, {Kind: grid.Heater, Count: 3},
+			{Kind: grid.Detector, Count: 3}, {Kind: grid.Diluter, Count: 2},
+		},
+		paper: PaperRow{
+			Ops: 10, Devices: 12, FluidicTasks: 15,
+			DAWO: PaperMetrics{NWash: 10, LWash: 290, TDelay: 19, TAssay: 58},
+			PDW:  PaperMetrics{NWash: 8, LWash: 220, TDelay: 13, TAssay: 52},
+		},
+	})
+}
+
+// Synthetic2 is the second generated workload. |O|=15, |D|=13, |E|=24.
+func Synthetic2() *Benchmark {
+	return generate(syntheticParams{
+		name: "Synthetic2", ops: 15, edges: 14, tasks: 24, layers: 5, seed: 202,
+		devices: []synth.DeviceSpec{
+			{Kind: grid.Mixer, Count: 5}, {Kind: grid.Heater, Count: 3},
+			{Kind: grid.Detector, Count: 3}, {Kind: grid.Diluter, Count: 2},
+		},
+		paper: PaperRow{
+			Ops: 15, Devices: 13, FluidicTasks: 24,
+			DAWO: PaperMetrics{NWash: 16, LWash: 300, TDelay: 29, TAssay: 78},
+			PDW:  PaperMetrics{NWash: 16, LWash: 260, TDelay: 21, TAssay: 70},
+		},
+	})
+}
+
+// Synthetic3 is the third generated workload. |O|=20, |D|=18, |E|=28.
+func Synthetic3() *Benchmark {
+	return generate(syntheticParams{
+		name: "Synthetic3", ops: 20, edges: 18, tasks: 28, layers: 6, seed: 303,
+		devices: []synth.DeviceSpec{
+			{Kind: grid.Mixer, Count: 6}, {Kind: grid.Heater, Count: 4},
+			{Kind: grid.Detector, Count: 4}, {Kind: grid.Diluter, Count: 4},
+		},
+		paper: PaperRow{
+			Ops: 20, Devices: 18, FluidicTasks: 28,
+			DAWO: PaperMetrics{NWash: 18, LWash: 460, TDelay: 35, TAssay: 92},
+			PDW:  PaperMetrics{NWash: 15, LWash: 320, TDelay: 23, TAssay: 80},
+		},
+	})
+}

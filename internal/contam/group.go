@@ -1,0 +1,260 @@
+package contam
+
+import (
+	"sort"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/geom"
+)
+
+// Group is a set of wash requirements servable by a single wash
+// operation: connected cells that must be clean before the same task,
+// with the combined execution window and culprit set.
+type Group struct {
+	// Targets are the cells to wash (a connected set).
+	Targets []geom.Point
+	// Culprits are the contaminating tasks; the wash starts after all.
+	Culprits []string
+	// Before are the sensitive users; the wash ends before each starts.
+	Before []string
+	// Ready and Deadline are the window bounds in base-schedule time,
+	// used for merging feasibility checks (the ILP re-derives the real
+	// window from task variables).
+	Ready, Deadline int
+	// Fluids are the residue types removed (reporting only).
+	Fluids []assay.FluidType
+}
+
+// GroupRequirements partitions requirements into wash groups:
+//
+//  1. requirements already covered by an earlier group are dropped (a
+//     wash in a sub-window over the same cell satisfies them too);
+//  2. the rest are grouped by sensitive user (BeforeTask) and split
+//     into connected cell components.
+//
+// Groups come out ordered by (Deadline, first target).
+func GroupRequirements(reqs []Requirement) []Group {
+	ordered := append([]Requirement(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Deadline != ordered[j].Deadline {
+			return ordered[i].Deadline < ordered[j].Deadline
+		}
+		return lessPoint(ordered[i].Cell, ordered[j].Cell)
+	})
+
+	byUser := map[string][]Requirement{}
+	var users []string
+	for _, r := range ordered {
+		if _, ok := byUser[r.BeforeTask]; !ok {
+			users = append(users, r.BeforeTask)
+		}
+		byUser[r.BeforeTask] = append(byUser[r.BeforeTask], r)
+	}
+	var groups []Group
+	for _, u := range users {
+		for _, comp := range components(byUser[u]) {
+			g := Group{Before: []string{u}, Ready: -1, Deadline: comp[0].Deadline}
+			for _, r := range comp {
+				g.Targets = append(g.Targets, r.Cell)
+				for _, c := range r.CulpritTasks {
+					g.Culprits = appendStr(g.Culprits, c)
+				}
+				for _, f := range r.Fluids {
+					g.Fluids = appendFluid(g.Fluids, f)
+				}
+				if r.ReadyAt > g.Ready {
+					g.Ready = r.ReadyAt
+				}
+				if r.Deadline < g.Deadline {
+					g.Deadline = r.Deadline
+				}
+			}
+			sort.Slice(g.Targets, func(i, j int) bool { return lessPoint(g.Targets[i], g.Targets[j]) })
+			sort.Strings(g.Culprits)
+			groups = append(groups, g)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Deadline != groups[j].Deadline {
+			return groups[i].Deadline < groups[j].Deadline
+		}
+		return lessPoint(groups[i].Targets[0], groups[j].Targets[0])
+	})
+	// Coverage dedup: a group whose targets all sit inside an earlier
+	// kept group, whose window contains that group's window, is already
+	// satisfied by the earlier wash (any wash time in the kept window
+	// also lies in the dropped group's window).
+	var kept []Group
+	for _, g := range groups {
+		redundant := false
+		for i := range kept {
+			k := &kept[i]
+			if k.Ready >= g.Ready && k.Deadline <= g.Deadline && coversTargets(k.Targets, g.Targets) {
+				// The kept wash also serves g; it inherits g's ordering
+				// obligations (wash before g's users, after g's
+				// culprits — the latter already implied by the ready
+				// times but kept explicit for the precedence DAG).
+				for _, u := range g.Before {
+					k.Before = appendStr(k.Before, u)
+				}
+				for _, c := range g.Culprits {
+					k.Culprits = appendStr(k.Culprits, c)
+				}
+				for _, f := range g.Fluids {
+					k.Fluids = appendFluid(k.Fluids, f)
+				}
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, g)
+		}
+	}
+	return kept
+}
+
+func coversTargets(have, want []geom.Point) bool {
+	for _, w := range want {
+		if !containsPoint(have, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// components splits same-user requirements into connected cell sets.
+func components(rs []Requirement) [][]Requirement {
+	n := len(rs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rs[i].Cell.Adjacent(rs[j].Cell) || rs[i].Cell == rs[j].Cell {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := map[int][]Requirement{}
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], rs[i])
+	}
+	sort.Ints(roots)
+	out := make([][]Requirement, 0, len(roots))
+	for _, r := range roots {
+		comp := byRoot[r]
+		sort.Slice(comp, func(i, j int) bool { return lessPoint(comp[i].Cell, comp[j].Cell) })
+		out = append(out, comp)
+	}
+	return out
+}
+
+// MergeGroups greedily merges wash groups whose windows intersect and
+// whose target sets lie within the given Manhattan radius of each other —
+// PDW's global path sharing: one wash path serving several contaminated
+// regions (the "resource sharing" DAWO lacks, Sec. I). Merging repeats
+// to a fixpoint.
+func MergeGroups(groups []Group, radius int) []Group {
+	out := append([]Group(nil), groups...)
+	for {
+		merged := false
+		for i := 0; i < len(out) && !merged; i++ {
+			for j := i + 1; j < len(out); j++ {
+				if !mergeable(out[i], out[j], radius) {
+					continue
+				}
+				out[i] = mergeTwo(out[i], out[j])
+				out = append(out[:j], out[j+1:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+func mergeable(a, b Group, radius int) bool {
+	ready := a.Ready
+	if b.Ready > ready {
+		ready = b.Ready
+	}
+	deadline := a.Deadline
+	if b.Deadline < deadline {
+		deadline = b.Deadline
+	}
+	if ready >= deadline {
+		return false // no common window in base time
+	}
+	best := 1 << 30
+	for _, p := range a.Targets {
+		for _, q := range b.Targets {
+			if d := p.Manhattan(q); d < best {
+				best = d
+			}
+		}
+	}
+	return best <= radius
+}
+
+func mergeTwo(a, b Group) Group {
+	g := Group{Ready: a.Ready, Deadline: a.Deadline}
+	if b.Ready > g.Ready {
+		g.Ready = b.Ready
+	}
+	if b.Deadline < g.Deadline {
+		g.Deadline = b.Deadline
+	}
+	g.Targets = append([]geom.Point(nil), a.Targets...)
+	for _, t := range b.Targets {
+		if !containsPoint(g.Targets, t) {
+			g.Targets = append(g.Targets, t)
+		}
+	}
+	sort.Slice(g.Targets, func(i, j int) bool { return lessPoint(g.Targets[i], g.Targets[j]) })
+	for _, c := range append(append([]string(nil), a.Culprits...), b.Culprits...) {
+		g.Culprits = appendStr(g.Culprits, c)
+	}
+	sort.Strings(g.Culprits)
+	for _, u := range append(append([]string(nil), a.Before...), b.Before...) {
+		g.Before = appendStr(g.Before, u)
+	}
+	sort.Strings(g.Before)
+	for _, f := range append(append([]assay.FluidType(nil), a.Fluids...), b.Fluids...) {
+		g.Fluids = appendFluid(g.Fluids, f)
+	}
+	return g
+}
+
+func lessPoint(a, b geom.Point) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+func containsPoint(pts []geom.Point, p geom.Point) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package contam
+
+import (
+	"testing"
+
+	"pathdriverwash/internal/geom"
+)
+
+func TestGroupRequirementsBasic(t *testing.T) {
+	reqs := []Requirement{
+		{Cell: geom.Pt(2, 2), ReadyAt: 3, Deadline: 8, BeforeTask: "u1", CulpritTasks: []string{"c1"}},
+		{Cell: geom.Pt(3, 2), ReadyAt: 3, Deadline: 8, BeforeTask: "u1", CulpritTasks: []string{"c1"}},
+		{Cell: geom.Pt(4, 2), ReadyAt: 4, Deadline: 8, BeforeTask: "u1", CulpritTasks: []string{"c2"}},
+	}
+	groups := GroupRequirements(reqs)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	g := groups[0]
+	if len(g.Targets) != 3 {
+		t.Errorf("targets = %v", g.Targets)
+	}
+	if g.Ready != 4 || g.Deadline != 8 {
+		t.Errorf("window = (%d,%d) want (4,8)", g.Ready, g.Deadline)
+	}
+	if len(g.Culprits) != 2 {
+		t.Errorf("culprits = %v", g.Culprits)
+	}
+	if len(g.Before) != 1 || g.Before[0] != "u1" {
+		t.Errorf("before = %v", g.Before)
+	}
+}
+
+func TestGroupRequirementsSplitsDisconnected(t *testing.T) {
+	reqs := []Requirement{
+		{Cell: geom.Pt(1, 1), ReadyAt: 1, Deadline: 9, BeforeTask: "u1", CulpritTasks: []string{"c"}},
+		{Cell: geom.Pt(7, 7), ReadyAt: 1, Deadline: 9, BeforeTask: "u1", CulpritTasks: []string{"c"}},
+	}
+	groups := GroupRequirements(reqs)
+	if len(groups) != 2 {
+		t.Fatalf("expected 2 groups: %+v", groups)
+	}
+}
+
+func TestGroupRequirementsSplitsByUser(t *testing.T) {
+	reqs := []Requirement{
+		{Cell: geom.Pt(1, 1), ReadyAt: 1, Deadline: 5, BeforeTask: "u1", CulpritTasks: []string{"c"}},
+		{Cell: geom.Pt(2, 1), ReadyAt: 1, Deadline: 9, BeforeTask: "u2", CulpritTasks: []string{"c"}},
+	}
+	groups := GroupRequirements(reqs)
+	if len(groups) != 2 {
+		t.Fatalf("expected per-user groups: %+v", groups)
+	}
+}
+
+func TestGroupRequirementsCoverageDedup(t *testing.T) {
+	// The second requirement's window contains the first group's window
+	// and targets the same cell, so one wash serves both.
+	reqs := []Requirement{
+		{Cell: geom.Pt(1, 1), ReadyAt: 3, Deadline: 5, BeforeTask: "u1", CulpritTasks: []string{"c"}},
+		{Cell: geom.Pt(1, 1), ReadyAt: 2, Deadline: 9, BeforeTask: "u2", CulpritTasks: []string{"c"}},
+	}
+	groups := GroupRequirements(reqs)
+	if len(groups) != 1 {
+		t.Fatalf("later covered requirement should be dropped: %+v", groups)
+	}
+	if groups[0].Before[0] != "u1" {
+		t.Errorf("kept group = %+v", groups[0])
+	}
+}
+
+func TestGroupsOrderedByDeadline(t *testing.T) {
+	reqs := []Requirement{
+		{Cell: geom.Pt(5, 5), ReadyAt: 6, Deadline: 12, BeforeTask: "late", CulpritTasks: []string{"c"}},
+		{Cell: geom.Pt(1, 1), ReadyAt: 1, Deadline: 4, BeforeTask: "early", CulpritTasks: []string{"c"}},
+	}
+	groups := GroupRequirements(reqs)
+	if len(groups) != 2 || groups[0].Before[0] != "early" {
+		t.Fatalf("groups not deadline-ordered: %+v", groups)
+	}
+}
+
+func TestMergeGroupsByProximityAndWindow(t *testing.T) {
+	a := Group{Targets: []geom.Point{geom.Pt(1, 1)}, Ready: 1, Deadline: 10,
+		Before: []string{"u1"}, Culprits: []string{"c1"}}
+	b := Group{Targets: []geom.Point{geom.Pt(3, 1)}, Ready: 2, Deadline: 8,
+		Before: []string{"u2"}, Culprits: []string{"c2"}}
+	merged := MergeGroups([]Group{a, b}, 4)
+	if len(merged) != 1 {
+		t.Fatalf("expected merge: %+v", merged)
+	}
+	g := merged[0]
+	if g.Ready != 2 || g.Deadline != 8 {
+		t.Errorf("window = (%d,%d)", g.Ready, g.Deadline)
+	}
+	if len(g.Targets) != 2 || len(g.Before) != 2 || len(g.Culprits) != 2 {
+		t.Errorf("merged group = %+v", g)
+	}
+}
+
+func TestMergeGroupsRespectsRadius(t *testing.T) {
+	a := Group{Targets: []geom.Point{geom.Pt(1, 1)}, Ready: 1, Deadline: 10}
+	b := Group{Targets: []geom.Point{geom.Pt(9, 9)}, Ready: 2, Deadline: 8}
+	if got := MergeGroups([]Group{a, b}, 4); len(got) != 2 {
+		t.Fatalf("far groups must not merge: %+v", got)
+	}
+}
+
+func TestMergeGroupsRespectsWindows(t *testing.T) {
+	a := Group{Targets: []geom.Point{geom.Pt(1, 1)}, Ready: 1, Deadline: 3}
+	b := Group{Targets: []geom.Point{geom.Pt(2, 1)}, Ready: 5, Deadline: 9}
+	if got := MergeGroups([]Group{a, b}, 4); len(got) != 2 {
+		t.Fatalf("window-disjoint groups must not merge: %+v", got)
+	}
+}
+
+func TestMergeGroupsFixpoint(t *testing.T) {
+	// Three chained groups: a-b mergeable, then (ab)-c mergeable.
+	a := Group{Targets: []geom.Point{geom.Pt(1, 1)}, Ready: 1, Deadline: 10}
+	b := Group{Targets: []geom.Point{geom.Pt(4, 1)}, Ready: 1, Deadline: 10}
+	c := Group{Targets: []geom.Point{geom.Pt(7, 1)}, Ready: 1, Deadline: 10}
+	if got := MergeGroups([]Group{a, b, c}, 3); len(got) != 1 {
+		t.Fatalf("chain should fully merge: %+v", got)
+	}
+}

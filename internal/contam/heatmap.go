@@ -1,0 +1,49 @@
+package contam
+
+import (
+	"strings"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/schedule"
+)
+
+// Heatmap renders the chip as ASCII art with per-cell contamination
+// event counts: '.' empty, '-' clean routable cell, digits 1-9 for
+// event counts (capped), '*' for ten or more. Device cells show their
+// count too; port cells show 'I'/'O'. Useful for eyeballing where wash
+// pressure concentrates on a layout.
+func Heatmap(s *schedule.Schedule) (string, error) {
+	an, err := Analyze(s)
+	if err != nil {
+		return "", err
+	}
+	counts := map[geom.Point]int{}
+	for _, ev := range an.Events {
+		counts[ev.Cell]++
+	}
+	chip := s.Chip
+	var b strings.Builder
+	for y := 0; y < chip.H; y++ {
+		for x := 0; x < chip.W; x++ {
+			p := geom.Pt(x, y)
+			switch {
+			case chip.PortAt(p) != nil:
+				if pt := chip.PortAt(p); pt.Kind.String() == "flow" {
+					b.WriteByte('I')
+				} else {
+					b.WriteByte('O')
+				}
+			case !chip.Routable(p):
+				b.WriteByte('.')
+			case counts[p] == 0:
+				b.WriteByte('-')
+			case counts[p] >= 10:
+				b.WriteByte('*')
+			default:
+				b.WriteByte(byte('0' + counts[p]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,287 @@
+// Package control models the chip's control layer (the paper's
+// Fig. 1(a)/(b)): microvalves sit where control channels cross flow
+// channels and pinch the elastomer membrane to block flow. For a given
+// chip, valves are synthesized on every junction arm (a flow path is
+// isolated by closing the valves on all arms branching off it); for a
+// given schedule, an actuation plan assigns each valve its open/close
+// timeline and the classic control-pin minimization shares one pressure
+// source among valves with identical timelines.
+//
+// The package provides the control-layer cost metrics a biochip
+// designer needs next to PDW's flow-layer metrics: valve count, control
+// pin count after sharing, and total valve switching operations (wear).
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/schedule"
+)
+
+// Arm identifies one valve position: the membrane pinching the channel
+// between cell At and its neighbour toward Dir. Each undirected arm is
+// represented once, from the lexicographically smaller endpoint.
+type Arm struct {
+	At geom.Point
+	To geom.Point
+}
+
+// normArm orders the endpoints deterministically.
+func normArm(a, b geom.Point) Arm {
+	if b.Y < a.Y || (b.Y == a.Y && b.X < a.X) {
+		a, b = b, a
+	}
+	return Arm{At: a, To: b}
+}
+
+// Valve is one synthesized microvalve.
+type Valve struct {
+	ID  int
+	Arm Arm
+	// Pin is the control pin driving the valve after sharing (assigned
+	// by Plan; -1 before planning).
+	Pin int
+}
+
+// Layer is the synthesized control layer of a chip.
+type Layer struct {
+	Chip   *grid.Chip
+	Valves []*Valve
+	byArm  map[Arm]*Valve
+}
+
+// Synthesize places valves on every arm incident to a junction (a
+// routable cell with three or more routable neighbours) and on every
+// port stub, which suffices to isolate any simple flow path on the
+// grid: a path is sealed by closing the branching arms along it.
+func Synthesize(chip *grid.Chip) *Layer {
+	l := &Layer{Chip: chip, byArm: map[Arm]*Valve{}}
+	addArm := func(a, b geom.Point) {
+		arm := normArm(a, b)
+		if _, dup := l.byArm[arm]; dup {
+			return
+		}
+		v := &Valve{ID: len(l.Valves), Arm: arm, Pin: -1}
+		l.Valves = append(l.Valves, v)
+		l.byArm[arm] = v
+	}
+	for _, c := range chip.RoutableCells() {
+		nbs := chip.RoutableNeighbors(c)
+		if chip.PortAt(c) != nil {
+			// Port stub: one valve on its single arm (turning the port
+			// on and off).
+			for _, n := range nbs {
+				addArm(c, n)
+			}
+			continue
+		}
+		if len(nbs) >= 3 {
+			for _, n := range nbs {
+				addArm(c, n)
+			}
+		}
+	}
+	sort.Slice(l.Valves, func(i, j int) bool { return lessArm(l.Valves[i].Arm, l.Valves[j].Arm) })
+	for i, v := range l.Valves {
+		v.ID = i
+	}
+	return l
+}
+
+func lessArm(a, b Arm) bool {
+	if a.At.Y != b.At.Y {
+		return a.At.Y < b.At.Y
+	}
+	if a.At.X != b.At.X {
+		return a.At.X < b.At.X
+	}
+	if a.To.Y != b.To.Y {
+		return a.To.Y < b.To.Y
+	}
+	return a.To.X < b.To.X
+}
+
+// Valve returns the valve on the arm between two adjacent cells, or nil
+// where no valve is needed (straight channel segments).
+func (l *Layer) Valve(a, b geom.Point) *Valve {
+	return l.byArm[normArm(a, b)]
+}
+
+// TaskActuation is the valve configuration one fluidic task requires
+// while it runs: Open valves lie on the path itself, Closed valves seal
+// the arms branching off it.
+type TaskActuation struct {
+	TaskID     string
+	Start, End int
+	Open       []*Valve
+	Closed     []*Valve
+}
+
+// actuationFor computes the valve sets for one path.
+func (l *Layer) actuationFor(t *schedule.Task) TaskActuation {
+	act := TaskActuation{TaskID: t.ID, Start: t.Start, End: t.End}
+	on := t.Path.CellSet()
+	seenOpen := map[int]bool{}
+	seenClosed := map[int]bool{}
+	for i, c := range t.Path.Cells {
+		// Arms along the path must be open.
+		if i+1 < t.Path.Len() {
+			if v := l.Valve(c, t.Path.Cells[i+1]); v != nil && !seenOpen[v.ID] {
+				seenOpen[v.ID] = true
+				act.Open = append(act.Open, v)
+			}
+		}
+		// Arms leaving the path must be closed to seal the flow.
+		for _, n := range c.Neighbors() {
+			if !l.Chip.InBounds(n) || !l.Chip.Routable(n) || on[n] {
+				continue
+			}
+			if v := l.Valve(c, n); v != nil && !seenClosed[v.ID] {
+				seenClosed[v.ID] = true
+				act.Closed = append(act.Closed, v)
+			}
+		}
+	}
+	return act
+}
+
+// Plan is the control-layer actuation plan for a schedule.
+type Plan struct {
+	Layer *Layer
+	Tasks []TaskActuation
+	// Pins is the number of control pins after timeline sharing.
+	Pins int
+	// Switches is the total number of valve state transitions over the
+	// schedule (an actuator wear metric).
+	Switches int
+}
+
+// BuildPlan derives the actuation plan for every active fluidic task of
+// the schedule, verifies that concurrent tasks never demand conflicting
+// valve states, assigns shared control pins, and counts switching.
+func BuildPlan(l *Layer, s *schedule.Schedule) (*Plan, error) {
+	p := &Plan{Layer: l}
+	for _, t := range s.SortedByStart() {
+		if !t.Kind.Fluidic() || !t.Active() {
+			continue
+		}
+		p.Tasks = append(p.Tasks, l.actuationFor(t))
+	}
+	if err := p.checkConflicts(); err != nil {
+		return nil, err
+	}
+	p.assignPins(s.Makespan())
+	return p, nil
+}
+
+// checkConflicts verifies the invariant that concurrent tasks agree on
+// every valve state (guaranteed by path cell-disjointness, asserted
+// here as a defense against schedule bugs).
+func (p *Plan) checkConflicts() error {
+	for i := 0; i < len(p.Tasks); i++ {
+		for j := i + 1; j < len(p.Tasks); j++ {
+			a, b := p.Tasks[i], p.Tasks[j]
+			if a.End <= b.Start || b.End <= a.Start {
+				continue
+			}
+			aOpen := map[int]bool{}
+			for _, v := range a.Open {
+				aOpen[v.ID] = true
+			}
+			for _, v := range b.Closed {
+				if aOpen[v.ID] {
+					return fmt.Errorf("control: tasks %s and %s need valve %d open and closed concurrently",
+						a.TaskID, b.TaskID, v.ID)
+				}
+			}
+			bOpen := map[int]bool{}
+			for _, v := range b.Open {
+				bOpen[v.ID] = true
+			}
+			for _, v := range a.Closed {
+				if bOpen[v.ID] {
+					return fmt.Errorf("control: tasks %s and %s need valve %d closed and open concurrently",
+						a.TaskID, b.TaskID, v.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// assignPins builds each valve's closed-timeline signature over the
+// schedule and gives valves with identical signatures one shared pin
+// (they can be driven by the same pressure source), then counts state
+// transitions. Valves that never actuate stay normally open and need no
+// pin.
+func (p *Plan) assignPins(makespan int) {
+	if makespan <= 0 {
+		p.Pins = 0
+		return
+	}
+	closedAt := map[int][]bool{} // valve ID -> per-second closed flag
+	for _, ta := range p.Tasks {
+		for _, v := range ta.Closed {
+			tl, ok := closedAt[v.ID]
+			if !ok {
+				tl = make([]bool, makespan)
+				closedAt[v.ID] = tl
+			}
+			for s := ta.Start; s < ta.End && s < makespan; s++ {
+				tl[s] = true
+			}
+		}
+	}
+	sig2pin := map[string]int{}
+	for _, v := range p.Layer.Valves {
+		tl, ok := closedAt[v.ID]
+		if !ok {
+			v.Pin = -1 // normally open, never driven
+			continue
+		}
+		var sb strings.Builder
+		prev := false
+		for _, c := range tl {
+			if c {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+			if c != prev {
+				p.Switches++
+				prev = c
+			}
+		}
+		if prev {
+			p.Switches++ // release at the end
+		}
+		sig := sb.String()
+		pin, ok := sig2pin[sig]
+		if !ok {
+			pin = len(sig2pin)
+			sig2pin[sig] = pin
+		}
+		v.Pin = pin
+	}
+	p.Pins = len(sig2pin)
+}
+
+// Stats summarizes the control layer cost.
+func (p *Plan) Stats() map[string]int {
+	actuated := 0
+	for _, v := range p.Layer.Valves {
+		if v.Pin >= 0 {
+			actuated++
+		}
+	}
+	return map[string]int{
+		"valves":          len(p.Layer.Valves),
+		"valves_actuated": actuated,
+		"control_pins":    p.Pins,
+		"switches":        p.Switches,
+	}
+}

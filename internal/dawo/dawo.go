@@ -1,0 +1,124 @@
+// Package dawo implements the comparison baseline of Sec. IV: the
+// delay-aware wash optimization method of [10]. Following the paper's
+// description:
+//
+//   - wash operations are introduced from the positions of contaminated
+//     spots, conservatively (no Type-2 same-fluid skip: any foreign
+//     residue on a reused cell is washed);
+//   - each contaminated region is washed by its own independent path
+//     computed with breadth-first search (no resource sharing between
+//     wash operations, no global optimization);
+//   - wash operations are assigned to time intervals with a sweep-line
+//     style earliest-fit pass, delaying subsequent tasks when no free
+//     interval exists.
+//
+// Like PDW, DAWO runs to a contamination-free fixpoint, so its output
+// schedules pass the same correctness oracle (contam.Verify).
+package dawo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pathdriverwash/internal/contam"
+	"pathdriverwash/internal/replan"
+	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/washpath"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// MaxRounds caps wash-insertion fixpoint rounds (default 60).
+	MaxRounds int
+	// TimeLimit caps total optimization time (default 60 s).
+	TimeLimit time.Duration
+}
+
+// Result is the baseline's output.
+type Result struct {
+	// Schedule is the rebuilt execution procedure with washes.
+	Schedule *schedule.Schedule
+	// Washes are the inserted wash operations.
+	Washes []replan.WashSpec
+	// Rounds is the number of fixpoint rounds used.
+	Rounds int
+}
+
+// policy is DAWO's conservative contamination judgement: residue of any
+// foreign task counts, even of the same fluid type.
+var policy = contam.Policy{IgnoreFluidTypes: true}
+
+// Optimize inserts washes into the base (wash-free) schedule.
+func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 60
+	}
+	tl := opts.TimeLimit
+	if tl <= 0 {
+		tl = 60 * time.Second
+	}
+	deadline := time.Now().Add(tl)
+
+	cur := base
+	var washes []replan.WashSpec
+	for round := 1; round <= maxRounds; round++ {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dawo: time limit after %d rounds", round-1)
+		}
+		an, err := contam.AnalyzeWithPolicy(cur, policy)
+		if err != nil {
+			return nil, err
+		}
+		if len(an.Requirements) == 0 {
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("dawo: final schedule invalid: %w", err)
+			}
+			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1}, nil
+		}
+		groups := contam.GroupRequirements(an.Requirements)
+		// No merging: each contaminated region gets its own wash (the
+		// baseline's lack of resource sharing).
+		for _, g := range groups {
+			plans, coveredSets, err := washpath.BuildCover(cur.Chip, g.Targets, washpath.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("dawo: wash path for %v: %w", g.Targets, err)
+			}
+			for i, plan := range plans {
+				washes = append(washes, replan.WashSpec{
+					ID:       fmt.Sprintf("w%d", len(washes)+1),
+					Path:     plan.Path,
+					Targets:  coveredSets[i],
+					Duration: WashDuration(cur, plan.Path.Len()),
+					Culprits: g.Culprits,
+					Before:   g.Before,
+				})
+			}
+		}
+		rp, err := replan.Build(base, washes)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = rp.Greedy()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("dawo: no fixpoint in %d rounds", maxRounds)
+}
+
+// WashDuration computes t(w) = L(l_w)/v_f + t_d (Eq. 17) rounded up to
+// whole seconds, at least 1 s.
+func WashDuration(s *schedule.Schedule, pathCells int) int {
+	c := s.Chip
+	secs := 0.0
+	if c.FlowVelocityMMs > 0 {
+		secs = c.CellLengthOf(pathCells) / c.FlowVelocityMMs
+	}
+	d := int(math.Ceil(secs + c.DissolutionS))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,164 @@
+// Package geom provides the elementary geometry used by the virtual-grid
+// chip model: integer grid points, the four rectilinear directions, and
+// Manhattan-distance helpers.
+//
+// The paper models a continuous-flow chip as a virtual grid R of size
+// W_G x H_G whose cells hold devices, channel segments, or ports; all
+// fluid movement is rectilinear, so 4-neighbourhood geometry is all that
+// is ever needed.
+package geom
+
+import "fmt"
+
+// Point is a cell coordinate on the virtual grid. X grows to the east,
+// Y grows to the south; (0,0) is the north-west corner.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y int) Point { return Point{X: x, Y: y} }
+
+// String renders the point as "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns the point translated one step in direction d.
+func (p Point) Add(d Dir) Point { return Point{p.X + d.DX(), p.Y + d.DY()} }
+
+// AddN returns the point translated n steps in direction d.
+func (p Point) AddN(d Dir, n int) Point {
+	return Point{p.X + n*d.DX(), p.Y + n*d.DY()}
+}
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Adjacent reports whether p and q share an edge on the grid
+// (Manhattan distance exactly one).
+func (p Point) Adjacent(q Point) bool { return p.Manhattan(q) == 1 }
+
+// Neighbors returns the four rectilinear neighbours of p in N,E,S,W order.
+// Neighbours may lie outside any particular grid; bounds checking is the
+// caller's concern.
+func (p Point) Neighbors() [4]Point {
+	return [4]Point{p.Add(North), p.Add(East), p.Add(South), p.Add(West)}
+}
+
+// DirTo returns the direction of the single step from p to adjacent q.
+// It panics if p and q are not adjacent; use Adjacent first when unsure.
+func (p Point) DirTo(q Point) Dir {
+	switch {
+	case q.X == p.X && q.Y == p.Y-1:
+		return North
+	case q.X == p.X+1 && q.Y == p.Y:
+		return East
+	case q.X == p.X && q.Y == p.Y+1:
+		return South
+	case q.X == p.X-1 && q.Y == p.Y:
+		return West
+	}
+	panic(fmt.Sprintf("geom: %v and %v are not adjacent", p, q))
+}
+
+// Dir is one of the four rectilinear directions.
+type Dir int
+
+// The four rectilinear directions.
+const (
+	North Dir = iota
+	East
+	South
+	West
+)
+
+// Dirs lists the four directions in N,E,S,W order for range loops.
+var Dirs = [4]Dir{North, East, South, West}
+
+// DX returns the x-component of the unit step in direction d.
+func (d Dir) DX() int {
+	switch d {
+	case East:
+		return 1
+	case West:
+		return -1
+	}
+	return 0
+}
+
+// DY returns the y-component of the unit step in direction d.
+func (d Dir) DY() int {
+	switch d {
+	case South:
+		return 1
+	case North:
+		return -1
+	}
+	return 0
+}
+
+// Opposite returns the direction pointing the other way.
+func (d Dir) Opposite() Dir { return (d + 2) % 4 }
+
+// String names the direction ("N", "E", "S" or "W").
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("Dir(%d)", int(d))
+}
+
+// Rect is an axis-aligned rectangle of grid cells, inclusive of Min and
+// exclusive of Max, matching Go's image.Rectangle convention.
+type Rect struct {
+	Min, Max Point
+}
+
+// Rc builds a Rect from (x0,y0) to (x1,y1), exclusive of the latter.
+func Rc(x0, y0, x1, y1 int) Rect { return Rect{Pt(x0, y0), Pt(x1, y1)} }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// W returns the rectangle width in cells.
+func (r Rect) W() int { return r.Max.X - r.Min.X }
+
+// H returns the rectangle height in cells.
+func (r Rect) H() int { return r.Max.Y - r.Min.Y }
+
+// Area returns the number of cells covered by r.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Points enumerates every cell of r in row-major order.
+func (r Rect) Points() []Point {
+	pts := make([]Point, 0, r.Area())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			pts = append(pts, Pt(x, y))
+		}
+	}
+	return pts
+}
+
+// Overlaps reports whether r and s share at least one cell.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPtAndString(t *testing.T) {
+	p := Pt(3, -2)
+	if p.X != 3 || p.Y != -2 {
+		t.Fatalf("Pt(3,-2) = %+v", p)
+	}
+	if got := p.String(); got != "(3,-2)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDirComponents(t *testing.T) {
+	cases := []struct {
+		d      Dir
+		dx, dy int
+		name   string
+	}{
+		{North, 0, -1, "N"},
+		{East, 1, 0, "E"},
+		{South, 0, 1, "S"},
+		{West, -1, 0, "W"},
+	}
+	for _, c := range cases {
+		if c.d.DX() != c.dx || c.d.DY() != c.dy {
+			t.Errorf("%v: DX,DY = %d,%d want %d,%d", c.d, c.d.DX(), c.d.DY(), c.dx, c.dy)
+		}
+		if c.d.String() != c.name {
+			t.Errorf("%v: String = %q want %q", c.d, c.d.String(), c.name)
+		}
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	for _, d := range Dirs {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("double opposite of %v is %v", d, d.Opposite().Opposite())
+		}
+		if d.DX()+d.Opposite().DX() != 0 || d.DY()+d.Opposite().DY() != 0 {
+			t.Errorf("%v and %v are not opposite", d, d.Opposite())
+		}
+	}
+}
+
+func TestAddAndAddN(t *testing.T) {
+	p := Pt(5, 5)
+	if p.Add(North) != Pt(5, 4) {
+		t.Errorf("Add(North) = %v", p.Add(North))
+	}
+	if p.AddN(East, 3) != Pt(8, 5) {
+		t.Errorf("AddN(East,3) = %v", p.AddN(East, 3))
+	}
+	if p.AddN(South, 0) != p {
+		t.Errorf("AddN(.,0) moved the point")
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want int
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-1, -1), Pt(1, 1), 4},
+		{Pt(2, 7), Pt(2, 7), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManhattanSymmetryQuick(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		return a.Manhattan(b) == b.Manhattan(a) && a.Manhattan(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManhattanTriangleQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(cx), int(cy))
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	p := Pt(4, 4)
+	for _, n := range p.Neighbors() {
+		if !p.Adjacent(n) {
+			t.Errorf("%v should be adjacent to %v", p, n)
+		}
+	}
+	if p.Adjacent(p) {
+		t.Error("a point must not be adjacent to itself")
+	}
+	if p.Adjacent(Pt(5, 5)) {
+		t.Error("diagonal cells are not adjacent")
+	}
+}
+
+func TestNeighborsOrder(t *testing.T) {
+	p := Pt(1, 1)
+	want := [4]Point{Pt(1, 0), Pt(2, 1), Pt(1, 2), Pt(0, 1)}
+	if p.Neighbors() != want {
+		t.Fatalf("Neighbors() = %v want %v", p.Neighbors(), want)
+	}
+}
+
+func TestDirTo(t *testing.T) {
+	p := Pt(3, 3)
+	for _, d := range Dirs {
+		if got := p.DirTo(p.Add(d)); got != d {
+			t.Errorf("DirTo(%v) = %v want %v", p.Add(d), got, d)
+		}
+	}
+}
+
+func TestDirToPanicsOnNonAdjacent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-adjacent DirTo")
+		}
+	}()
+	Pt(0, 0).DirTo(Pt(2, 0))
+}
+
+func TestDirToRoundTripQuick(t *testing.T) {
+	f := func(x, y int8, dn uint8) bool {
+		p := Pt(int(x), int(y))
+		d := Dirs[int(dn)%4]
+		return p.DirTo(p.Add(d)) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rc(1, 1, 4, 3)
+	if r.W() != 3 || r.H() != 2 || r.Area() != 6 {
+		t.Fatalf("W,H,Area = %d,%d,%d", r.W(), r.H(), r.Area())
+	}
+	if !r.Contains(Pt(1, 1)) || !r.Contains(Pt(3, 2)) {
+		t.Error("Contains should include min corner and interior")
+	}
+	if r.Contains(Pt(4, 2)) || r.Contains(Pt(3, 3)) {
+		t.Error("Contains must exclude the max edge")
+	}
+}
+
+func TestRectPoints(t *testing.T) {
+	r := Rc(0, 0, 2, 2)
+	pts := r.Points()
+	want := []Point{Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)}
+	if len(pts) != len(want) {
+		t.Fatalf("len = %d want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("pts[%d] = %v want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := Rc(0, 0, 3, 3)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rc(2, 2, 5, 5), true},
+		{Rc(3, 0, 5, 3), false}, // share only an edge
+		{Rc(-2, -2, 0, 0), false},
+		{Rc(1, 1, 2, 2), true}, // contained
+		{a, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v,%v) = %v want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps(%v,%v) = %v want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestRectPointsMatchContainsQuick(t *testing.T) {
+	f := func(x0, y0 uint8, w, h uint8) bool {
+		r := Rc(int(x0), int(y0), int(x0)+int(w%6), int(y0)+int(h%6))
+		pts := r.Points()
+		if len(pts) != r.Area() {
+			return false
+		}
+		for _, p := range pts {
+			if !r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

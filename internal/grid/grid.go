@@ -1,0 +1,431 @@
+// Package grid models a continuous-flow lab-on-a-chip architecture as the
+// virtual grid R of size W_G x H_G used throughout the paper (Sec. III).
+//
+// Cells of the grid hold devices (mixers, heaters, detectors, filters,
+// storage), flow-channel segments, or ports. Flow ports inject reagents
+// and wash buffer; waste ports release waste fluids and displaced air.
+// Fluids move along flow paths — simple rectilinear cell sequences that
+// may pass through channels and devices and terminate at ports.
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathdriverwash/internal/geom"
+)
+
+// CellKind classifies what occupies a grid cell.
+type CellKind uint8
+
+// Cell kinds. Empty cells are not routable; all other kinds can carry
+// fluid and therefore appear on flow paths.
+const (
+	Empty CellKind = iota
+	Channel
+	DeviceCell
+	FlowPortCell
+	WastePortCell
+)
+
+// String names the cell kind.
+func (k CellKind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Channel:
+		return "channel"
+	case DeviceCell:
+		return "device"
+	case FlowPortCell:
+		return "flow-port"
+	case WastePortCell:
+		return "waste-port"
+	}
+	return fmt.Sprintf("CellKind(%d)", uint8(k))
+}
+
+// Routable reports whether fluid can occupy a cell of this kind.
+func (k CellKind) Routable() bool { return k != Empty }
+
+// DeviceKind is the functional type of an on-chip device. It must match
+// the DeviceKind requested by a biochemical operation for binding.
+type DeviceKind string
+
+// Device kinds from the paper's chip layouts and benchmark suites.
+const (
+	Mixer    DeviceKind = "mixer"
+	Heater   DeviceKind = "heater"
+	Detector DeviceKind = "detector"
+	Filter   DeviceKind = "filter"
+	Storage  DeviceKind = "storage"
+	Diluter  DeviceKind = "diluter"
+	Washer   DeviceKind = "washer"
+)
+
+// Device is a placed on-chip device occupying a rectangle of cells.
+type Device struct {
+	ID   string
+	Kind DeviceKind
+	Area geom.Rect
+}
+
+// Cells enumerates the grid cells occupied by the device.
+func (d *Device) Cells() []geom.Point { return d.Area.Points() }
+
+// Center returns the (rounded-down) central cell of the device.
+func (d *Device) Center() geom.Point {
+	return geom.Pt(d.Area.Min.X+d.Area.W()/2, d.Area.Min.Y+d.Area.H()/2)
+}
+
+// String renders the device as "id(kind)@rect".
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%s)@%v-%v", d.ID, d.Kind, d.Area.Min, d.Area.Max)
+}
+
+// PortKind distinguishes injection ports from waste outlets.
+type PortKind uint8
+
+// Port kinds.
+const (
+	FlowPort PortKind = iota
+	WastePort
+)
+
+// String names the port kind.
+func (k PortKind) String() string {
+	if k == FlowPort {
+		return "flow"
+	}
+	return "waste"
+}
+
+// Port is a chip boundary port. Flow ports (in_i) connect to external
+// pressure-driven reservoirs; waste ports (out_i) vent waste and air.
+type Port struct {
+	ID   string
+	Kind PortKind
+	At   geom.Point
+}
+
+// String renders the port as "id@point".
+func (p *Port) String() string { return fmt.Sprintf("%s@%v", p.ID, p.At) }
+
+// Chip is the virtual-grid model of a biochip architecture together with
+// the physical parameters the wash-duration model of Eq. (17) needs.
+type Chip struct {
+	// Name labels the architecture (usually the benchmark name).
+	Name string
+	// W, H are the virtual grid dimensions W_G and H_G.
+	W, H int
+
+	// CellLengthMM is the physical channel length represented by one
+	// grid cell, in millimetres.
+	CellLengthMM float64
+	// FlowVelocityMMs is the buffer flow velocity v_f in mm/s
+	// (the paper uses 10 mm/s).
+	FlowVelocityMMs float64
+	// DissolutionS is the contaminant dissolution time t_d in seconds.
+	DissolutionS float64
+
+	kind    []CellKind
+	devAt   []*Device // nil when the cell is not a device cell
+	portAt  []*Port   // nil when the cell is not a port cell
+	devices []*Device
+	ports   []*Port
+}
+
+// NewChip allocates an empty WxH chip with the paper's default physical
+// parameters (cell pitch 1 mm, v_f = 10 mm/s, t_d = 2 s).
+func NewChip(name string, w, h int) *Chip {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid chip size %dx%d", w, h))
+	}
+	return &Chip{
+		Name:            name,
+		W:               w,
+		H:               h,
+		CellLengthMM:    1,
+		FlowVelocityMMs: 10,
+		DissolutionS:    2,
+		kind:            make([]CellKind, w*h),
+		devAt:           make([]*Device, w*h),
+		portAt:          make([]*Port, w*h),
+	}
+}
+
+func (c *Chip) idx(p geom.Point) int { return p.Y*c.W + p.X }
+
+// InBounds reports whether p lies on the grid.
+func (c *Chip) InBounds(p geom.Point) bool {
+	return p.X >= 0 && p.X < c.W && p.Y >= 0 && p.Y < c.H
+}
+
+// KindAt returns the kind of the cell at p (Empty for out-of-bounds).
+func (c *Chip) KindAt(p geom.Point) CellKind {
+	if !c.InBounds(p) {
+		return Empty
+	}
+	return c.kind[c.idx(p)]
+}
+
+// Routable reports whether fluid can occupy cell p.
+func (c *Chip) Routable(p geom.Point) bool { return c.KindAt(p).Routable() }
+
+// DeviceAt returns the device occupying p, or nil.
+func (c *Chip) DeviceAt(p geom.Point) *Device {
+	if !c.InBounds(p) {
+		return nil
+	}
+	return c.devAt[c.idx(p)]
+}
+
+// PortAt returns the port at p, or nil.
+func (c *Chip) PortAt(p geom.Point) *Port {
+	if !c.InBounds(p) {
+		return nil
+	}
+	return c.portAt[c.idx(p)]
+}
+
+// Devices returns the placed devices in insertion order.
+func (c *Chip) Devices() []*Device { return c.devices }
+
+// Ports returns all ports in insertion order.
+func (c *Chip) Ports() []*Port { return c.ports }
+
+// FlowPorts returns the flow (injection) ports in insertion order.
+func (c *Chip) FlowPorts() []*Port { return c.portsOf(FlowPort) }
+
+// WastePorts returns the waste ports in insertion order.
+func (c *Chip) WastePorts() []*Port { return c.portsOf(WastePort) }
+
+func (c *Chip) portsOf(k PortKind) []*Port {
+	var out []*Port
+	for _, p := range c.ports {
+		if p.Kind == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Device returns the device with the given ID, or nil.
+func (c *Chip) Device(id string) *Device {
+	for _, d := range c.devices {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// Port returns the port with the given ID, or nil.
+func (c *Chip) Port(id string) *Port {
+	for _, p := range c.ports {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// AddDevice places a device over rectangle area. The cells must be empty.
+func (c *Chip) AddDevice(id string, kind DeviceKind, area geom.Rect) (*Device, error) {
+	if c.Device(id) != nil {
+		return nil, fmt.Errorf("grid: duplicate device id %q", id)
+	}
+	if area.Area() == 0 {
+		return nil, fmt.Errorf("grid: device %q has empty area", id)
+	}
+	for _, p := range area.Points() {
+		if !c.InBounds(p) {
+			return nil, fmt.Errorf("grid: device %q cell %v out of bounds", id, p)
+		}
+		if c.kind[c.idx(p)] != Empty {
+			return nil, fmt.Errorf("grid: device %q overlaps %s at %v", id, c.kind[c.idx(p)], p)
+		}
+	}
+	d := &Device{ID: id, Kind: kind, Area: area}
+	for _, p := range area.Points() {
+		c.kind[c.idx(p)] = DeviceCell
+		c.devAt[c.idx(p)] = d
+	}
+	c.devices = append(c.devices, d)
+	return d, nil
+}
+
+// AddPort places a flow or waste port at p. The cell must be empty and on
+// the chip boundary (ports connect to off-chip tubing).
+func (c *Chip) AddPort(id string, kind PortKind, at geom.Point) (*Port, error) {
+	if c.Port(id) != nil {
+		return nil, fmt.Errorf("grid: duplicate port id %q", id)
+	}
+	if !c.InBounds(at) {
+		return nil, fmt.Errorf("grid: port %q at %v out of bounds", id, at)
+	}
+	if at.X != 0 && at.X != c.W-1 && at.Y != 0 && at.Y != c.H-1 {
+		return nil, fmt.Errorf("grid: port %q at %v is not on the chip boundary", id, at)
+	}
+	if c.kind[c.idx(at)] != Empty {
+		return nil, fmt.Errorf("grid: port %q overlaps %s at %v", id, c.kind[c.idx(at)], at)
+	}
+	ck := FlowPortCell
+	if kind == WastePort {
+		ck = WastePortCell
+	}
+	p := &Port{ID: id, Kind: kind, At: at}
+	c.kind[c.idx(at)] = ck
+	c.portAt[c.idx(at)] = p
+	c.ports = append(c.ports, p)
+	return p, nil
+}
+
+// AddChannel marks cell p as a flow-channel segment. Adding a channel on
+// an already-routable cell is a no-op so routes can be stamped liberally.
+func (c *Chip) AddChannel(p geom.Point) error {
+	if !c.InBounds(p) {
+		return fmt.Errorf("grid: channel cell %v out of bounds", p)
+	}
+	if c.kind[c.idx(p)] == Empty {
+		c.kind[c.idx(p)] = Channel
+	}
+	return nil
+}
+
+// AddChannelPath stamps every cell of the path as channel where empty.
+func (c *Chip) AddChannelPath(pts []geom.Point) error {
+	for _, p := range pts {
+		if err := c.AddChannel(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoutableNeighbors returns the routable 4-neighbours of p.
+func (c *Chip) RoutableNeighbors(p geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, 4)
+	for _, n := range p.Neighbors() {
+		if c.InBounds(n) && c.Routable(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RoutableCells enumerates every routable cell in row-major order.
+func (c *Chip) RoutableCells() []geom.Point {
+	var out []geom.Point
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			p := geom.Pt(x, y)
+			if c.Routable(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// CellLengthOf returns the physical length in mm of n cells of channel.
+func (c *Chip) CellLengthOf(n int) float64 { return float64(n) * c.CellLengthMM }
+
+// Validate checks structural invariants: ports on the boundary, devices
+// within bounds, at least one flow and one waste port, and that the
+// routable cells form a single connected component (fluid must be able to
+// reach every channel/device from the ports).
+func (c *Chip) Validate() error {
+	if len(c.FlowPorts()) == 0 {
+		return fmt.Errorf("grid: chip %q has no flow port", c.Name)
+	}
+	if len(c.WastePorts()) == 0 {
+		return fmt.Errorf("grid: chip %q has no waste port", c.Name)
+	}
+	cells := c.RoutableCells()
+	if len(cells) == 0 {
+		return fmt.Errorf("grid: chip %q has no routable cells", c.Name)
+	}
+	// Flood fill from the first routable cell.
+	seen := make(map[geom.Point]bool, len(cells))
+	stack := []geom.Point{cells[0]}
+	seen[cells[0]] = true
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range c.RoutableNeighbors(p) {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	if len(seen) != len(cells) {
+		var orphans []string
+		for _, p := range cells {
+			if !seen[p] {
+				orphans = append(orphans, p.String())
+				if len(orphans) == 5 {
+					orphans = append(orphans, "...")
+					break
+				}
+			}
+		}
+		return fmt.Errorf("grid: chip %q routable cells are disconnected (%d of %d reachable; unreachable: %s)",
+			c.Name, len(seen), len(cells), strings.Join(orphans, " "))
+	}
+	return nil
+}
+
+// Render draws the chip as ASCII art: '.' empty, '-' channel, device
+// cells show the first letter of their kind (uppercase), 'I' flow port,
+// 'O' waste port.
+func (c *Chip) Render() string {
+	var b strings.Builder
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			p := geom.Pt(x, y)
+			switch c.KindAt(p) {
+			case Empty:
+				b.WriteByte('.')
+			case Channel:
+				b.WriteByte('-')
+			case DeviceCell:
+				k := c.DeviceAt(p).Kind
+				ch := byte('D')
+				if len(k) > 0 {
+					ch = byte(strings.ToUpper(string(k))[0])
+				}
+				b.WriteByte(ch)
+			case FlowPortCell:
+				b.WriteByte('I')
+			case WastePortCell:
+				b.WriteByte('O')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stats summarises cell occupancy for reporting.
+func (c *Chip) Stats() map[string]int {
+	m := map[string]int{}
+	for _, k := range c.kind {
+		m[k.String()]++
+	}
+	m["devices"] = len(c.devices)
+	m["ports"] = len(c.ports)
+	return m
+}
+
+// SortedDeviceIDs returns device IDs in lexical order (stable reporting).
+func (c *Chip) SortedDeviceIDs() []string {
+	ids := make([]string, len(c.devices))
+	for i, d := range c.devices {
+		ids[i] = d.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

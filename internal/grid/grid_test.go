@@ -1,0 +1,299 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"pathdriverwash/internal/geom"
+)
+
+// testChip builds a small 8x6 chip with one mixer, one heater, two flow
+// ports, two waste ports, and connecting channels.
+//
+//	I - - - - - - O
+//	. . M M . . . .
+//	. . M M . . - .
+//	. . - . . . - .
+//	. . - H H H - .
+//	I - - - - - - O
+func testChip(t *testing.T) *Chip {
+	t.Helper()
+	c := NewChip("test", 8, 6)
+	mustDev := func(id string, k DeviceKind, r geom.Rect) {
+		if _, err := c.AddDevice(id, k, r); err != nil {
+			t.Fatalf("AddDevice(%s): %v", id, err)
+		}
+	}
+	mustPort := func(id string, k PortKind, p geom.Point) {
+		if _, err := c.AddPort(id, k, p); err != nil {
+			t.Fatalf("AddPort(%s): %v", id, err)
+		}
+	}
+	mustDev("mixer", Mixer, geom.Rc(2, 1, 4, 3))
+	mustDev("heater", Heater, geom.Rc(3, 4, 6, 5))
+	mustPort("in1", FlowPort, geom.Pt(0, 0))
+	mustPort("in2", FlowPort, geom.Pt(0, 5))
+	mustPort("out1", WastePort, geom.Pt(7, 0))
+	mustPort("out2", WastePort, geom.Pt(7, 5))
+	for x := 1; x < 7; x++ {
+		if err := c.AddChannel(geom.Pt(x, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddChannel(geom.Pt(x, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for y := 2; y < 5; y++ {
+		if err := c.AddChannel(geom.Pt(6, y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for y := 3; y < 5; y++ {
+		if err := c.AddChannel(geom.Pt(2, y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Connect mixer's column to the top channel via (2,0) already channel;
+	// mixer cells themselves are routable, so the component is connected.
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return c
+}
+
+func TestNewChipPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChip("bad", 0, 5)
+}
+
+func TestKindAt(t *testing.T) {
+	c := testChip(t)
+	cases := []struct {
+		p    geom.Point
+		want CellKind
+	}{
+		{geom.Pt(0, 0), FlowPortCell},
+		{geom.Pt(7, 0), WastePortCell},
+		{geom.Pt(1, 0), Channel},
+		{geom.Pt(2, 1), DeviceCell},
+		{geom.Pt(4, 1), Empty},
+		{geom.Pt(-1, 0), Empty}, // out of bounds
+		{geom.Pt(0, 99), Empty},
+	}
+	for _, cs := range cases {
+		if got := c.KindAt(cs.p); got != cs.want {
+			t.Errorf("KindAt(%v) = %v want %v", cs.p, got, cs.want)
+		}
+	}
+}
+
+func TestCellKindStrings(t *testing.T) {
+	want := map[CellKind]string{
+		Empty: "empty", Channel: "channel", DeviceCell: "device",
+		FlowPortCell: "flow-port", WastePortCell: "waste-port",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q want %q", k, k.String(), s)
+		}
+	}
+	if Empty.Routable() {
+		t.Error("empty cells must not be routable")
+	}
+	if !Channel.Routable() || !DeviceCell.Routable() || !FlowPortCell.Routable() {
+		t.Error("non-empty cells must be routable")
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	c := testChip(t)
+	d := c.Device("mixer")
+	if d == nil || d.Kind != Mixer {
+		t.Fatalf("Device(mixer) = %v", d)
+	}
+	if got := c.DeviceAt(geom.Pt(3, 2)); got != d {
+		t.Errorf("DeviceAt(3,2) = %v want mixer", got)
+	}
+	if c.DeviceAt(geom.Pt(0, 0)) != nil {
+		t.Error("DeviceAt(port cell) should be nil")
+	}
+	if c.Device("nope") != nil {
+		t.Error("Device(nope) should be nil")
+	}
+	if len(d.Cells()) != 4 {
+		t.Errorf("mixer covers %d cells want 4", len(d.Cells()))
+	}
+	if d.Center() != geom.Pt(3, 2) {
+		t.Errorf("mixer center = %v", d.Center())
+	}
+}
+
+func TestPortLookup(t *testing.T) {
+	c := testChip(t)
+	in := c.Port("in1")
+	if in == nil || in.Kind != FlowPort || in.At != geom.Pt(0, 0) {
+		t.Fatalf("Port(in1) = %v", in)
+	}
+	if got := c.PortAt(geom.Pt(7, 5)); got == nil || got.ID != "out2" {
+		t.Errorf("PortAt(7,5) = %v", got)
+	}
+	if len(c.FlowPorts()) != 2 || len(c.WastePorts()) != 2 {
+		t.Errorf("FlowPorts=%d WastePorts=%d", len(c.FlowPorts()), len(c.WastePorts()))
+	}
+	if len(c.Ports()) != 4 {
+		t.Errorf("Ports = %d", len(c.Ports()))
+	}
+}
+
+func TestAddDeviceErrors(t *testing.T) {
+	c := testChip(t)
+	if _, err := c.AddDevice("mixer", Mixer, geom.Rc(5, 1, 6, 2)); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if _, err := c.AddDevice("d2", Mixer, geom.Rc(3, 1, 5, 3)); err == nil {
+		t.Error("overlap should fail")
+	}
+	if _, err := c.AddDevice("d3", Mixer, geom.Rc(7, 5, 9, 7)); err == nil {
+		t.Error("out of bounds should fail")
+	}
+	if _, err := c.AddDevice("d4", Mixer, geom.Rc(5, 1, 5, 2)); err == nil {
+		t.Error("empty area should fail")
+	}
+}
+
+func TestAddPortErrors(t *testing.T) {
+	c := testChip(t)
+	if _, err := c.AddPort("in1", FlowPort, geom.Pt(3, 0)); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if _, err := c.AddPort("p2", FlowPort, geom.Pt(3, 3)); err == nil {
+		t.Error("interior port should fail")
+	}
+	if _, err := c.AddPort("p3", FlowPort, geom.Pt(0, 0)); err == nil {
+		t.Error("occupied cell should fail")
+	}
+	if _, err := c.AddPort("p4", FlowPort, geom.Pt(-1, 0)); err == nil {
+		t.Error("out of bounds should fail")
+	}
+}
+
+func TestAddChannel(t *testing.T) {
+	c := testChip(t)
+	if err := c.AddChannel(geom.Pt(0, 0)); err != nil {
+		t.Errorf("channel over port should be a no-op, got %v", err)
+	}
+	if c.KindAt(geom.Pt(0, 0)) != FlowPortCell {
+		t.Error("channel overwrote a port cell")
+	}
+	if err := c.AddChannel(geom.Pt(99, 0)); err == nil {
+		t.Error("out-of-bounds channel should fail")
+	}
+}
+
+func TestValidateDetectsDisconnection(t *testing.T) {
+	c := NewChip("disc", 6, 6)
+	if _, err := c.AddPort("in", FlowPort, geom.Pt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddPort("out", WastePort, geom.Pt(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// No channel between them.
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected disconnection error")
+	} else if !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateRequiresPorts(t *testing.T) {
+	c := NewChip("noports", 4, 4)
+	if err := c.Validate(); err == nil {
+		t.Fatal("chip without flow port must fail validation")
+	}
+	if _, err := c.AddPort("in", FlowPort, geom.Pt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("chip without waste port must fail validation")
+	}
+}
+
+func TestRoutableNeighbors(t *testing.T) {
+	c := testChip(t)
+	n := c.RoutableNeighbors(geom.Pt(1, 0))
+	// Neighbours of (1,0): (1,-1) oob, (2,0) channel, (1,1) empty, (0,0) port.
+	if len(n) != 2 {
+		t.Fatalf("RoutableNeighbors(1,0) = %v", n)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	c := testChip(t)
+	r := c.Render()
+	lines := strings.Split(strings.TrimRight(r, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("render has %d lines want 6", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 8 {
+			t.Errorf("line %d has width %d want 8: %q", i, len(l), l)
+		}
+	}
+	if lines[0][0] != 'I' || lines[0][7] != 'O' {
+		t.Errorf("ports not rendered: %q", lines[0])
+	}
+	if lines[1][2] != 'M' {
+		t.Errorf("mixer not rendered: %q", lines[1])
+	}
+	if lines[4][3] != 'H' {
+		t.Errorf("heater not rendered: %q", lines[4])
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := testChip(t)
+	s := c.Stats()
+	if s["devices"] != 2 || s["ports"] != 4 {
+		t.Errorf("stats = %v", s)
+	}
+	if s["device"] != 4+3 {
+		t.Errorf("device cells = %d want 7", s["device"])
+	}
+	if s["flow-port"] != 2 || s["waste-port"] != 2 {
+		t.Errorf("port cells = %v", s)
+	}
+}
+
+func TestSortedDeviceIDs(t *testing.T) {
+	c := testChip(t)
+	ids := c.SortedDeviceIDs()
+	if len(ids) != 2 || ids[0] != "heater" || ids[1] != "mixer" {
+		t.Fatalf("SortedDeviceIDs = %v", ids)
+	}
+}
+
+func TestCellLengthOf(t *testing.T) {
+	c := testChip(t)
+	c.CellLengthMM = 2.5
+	if got := c.CellLengthOf(4); got != 10 {
+		t.Errorf("CellLengthOf(4) = %v want 10", got)
+	}
+}
+
+func TestDeviceAndPortStrings(t *testing.T) {
+	c := testChip(t)
+	if s := c.Device("mixer").String(); !strings.Contains(s, "mixer") || !strings.Contains(s, "(2,1)") {
+		t.Errorf("device string = %q", s)
+	}
+	if s := c.Port("in1").String(); s != "in1@(0,0)" {
+		t.Errorf("port string = %q", s)
+	}
+	if FlowPort.String() != "flow" || WastePort.String() != "waste" {
+		t.Error("port kind strings wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package harness runs the paper's experiments: it synthesizes each
+// Table II benchmark, runs the DAWO baseline and PDW on the same
+// wash-free input scheduling, measures every reported quantity against
+// a fairly compressed wash-free reference, and assembles report rows
+// for Table II, Fig. 4, and Fig. 5.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/dawo"
+	"pathdriverwash/internal/pdw"
+	"pathdriverwash/internal/report"
+	"pathdriverwash/internal/schedule"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// PDW forwards solver options; zero value uses PDW defaults.
+	PDW pdw.Options
+	// DAWO forwards baseline options.
+	DAWO dawo.Options
+	// BaseCompressLimit bounds the wash-free reference LP (default 5 s).
+	BaseCompressLimit time.Duration
+}
+
+// Outcome is the full result of one benchmark run.
+type Outcome struct {
+	Benchmark *benchmarks.Benchmark
+	Row       report.Row
+	// Base is the wash-free input scheduling; Reference the compressed
+	// wash-free schedule used as the T_delay / waiting-time baseline.
+	Base, Reference *schedule.Schedule
+	DAWO            *dawo.Result
+	PDW             *pdw.Result
+	// Runtimes of the two optimizers.
+	DAWOTime, PDWTime time.Duration
+}
+
+// RunBenchmark executes both methods on one benchmark.
+func RunBenchmark(b *benchmarks.Benchmark, opts Options) (*Outcome, error) {
+	if opts.BaseCompressLimit <= 0 {
+		opts.BaseCompressLimit = 5 * time.Second
+	}
+	syn, err := b.Synthesize()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	ref, err := pdw.CompressBase(syn.Schedule, opts.BaseCompressLimit)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: compress base: %w", b.Name, err)
+	}
+
+	t0 := time.Now()
+	dres, err := dawo.Optimize(syn.Schedule, opts.DAWO)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: DAWO: %w", b.Name, err)
+	}
+	dTime := time.Since(t0)
+
+	t0 = time.Now()
+	pres, err := pdw.Optimize(syn.Schedule, opts.PDW)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: PDW: %w", b.Name, err)
+	}
+	pTime := time.Since(t0)
+
+	dm := dres.Schedule.ComputeMetrics(ref)
+	pm := pres.Schedule.ComputeMetrics(ref)
+	ops, _, tasks := b.Assay.Stats()
+	devices := 0
+	for _, d := range b.Config.Devices {
+		devices += d.Count
+	}
+	row := report.Row{
+		Benchmark: b.Name,
+		Ops:       ops, Devices: devices, Tasks: tasks,
+		DAWONWash: dm.NWash, PDWNWash: pm.NWash,
+		DAWOLWash: dm.LWashMM, PDWLWash: pm.LWashMM,
+		DAWOTDelay: clampNonNegative(dm.TDelay), PDWTDelay: clampNonNegative(pm.TDelay),
+		DAWOTAssay: dm.TAssay, PDWTAssay: pm.TAssay,
+		DAWOAvgWait: dm.AvgWaitSeconds, PDWAvgWait: pm.AvgWaitSeconds,
+		DAWOWashTime: dm.TotalWashSeconds, PDWWashTime: pm.TotalWashSeconds,
+		DAWOBuffer: dm.BufferMM, PDWBuffer: pm.BufferMM,
+	}
+	return &Outcome{
+		Benchmark: b, Row: row,
+		Base: syn.Schedule, Reference: ref,
+		DAWO: dres, PDW: pres,
+		DAWOTime: dTime, PDWTime: pTime,
+	}, nil
+}
+
+func clampNonNegative(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// RunAll executes all Table II benchmarks and returns their outcomes in
+// paper order.
+func RunAll(opts Options) ([]*Outcome, error) {
+	var out []*Outcome
+	for _, b := range benchmarks.All() {
+		o, err := RunBenchmark(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// RunAllParallel executes the benchmarks concurrently with at most
+// workers goroutines (0 selects GOMAXPROCS). Every benchmark run is
+// self-contained and deterministic, so the outcomes match RunAll; only
+// the per-run wall-clock measurements change under CPU contention.
+func RunAllParallel(opts Options, workers int) ([]*Outcome, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	all := benchmarks.All()
+	outs := make([]*Outcome, len(all))
+	errs := make([]error, len(all))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, b := range all {
+		wg.Add(1)
+		go func(i int, b *benchmarks.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i], errs[i] = RunBenchmark(b, opts)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Rows extracts the report rows from outcomes.
+func Rows(outs []*Outcome) []report.Row {
+	rows := make([]report.Row, len(outs))
+	for i, o := range outs {
+		rows[i] = o.Row
+	}
+	return rows
+}
+
+// PaperComparisons builds the measured-vs-paper reduction table for
+// EXPERIMENTS.md.
+func PaperComparisons(outs []*Outcome) []report.PaperComparison {
+	var cs []report.PaperComparison
+	for _, o := range outs {
+		p := o.Benchmark.Paper
+		r := o.Row
+		cs = append(cs,
+			report.PaperComparison{Benchmark: o.Benchmark.Name, Metric: "N_wash",
+				PaperIm: report.Improvement(float64(p.DAWO.NWash), float64(p.PDW.NWash)),
+				OursIm:  report.Improvement(float64(r.DAWONWash), float64(r.PDWNWash))},
+			report.PaperComparison{Benchmark: o.Benchmark.Name, Metric: "L_wash",
+				PaperIm: report.Improvement(p.DAWO.LWash, p.PDW.LWash),
+				OursIm:  report.Improvement(r.DAWOLWash, r.PDWLWash)},
+			report.PaperComparison{Benchmark: o.Benchmark.Name, Metric: "T_delay",
+				PaperIm: report.Improvement(float64(p.DAWO.TDelay), float64(p.PDW.TDelay)),
+				OursIm:  report.Improvement(float64(r.DAWOTDelay), float64(r.PDWTDelay))},
+			report.PaperComparison{Benchmark: o.Benchmark.Name, Metric: "T_assay",
+				PaperIm: report.Improvement(float64(p.DAWO.TAssay), float64(p.PDW.TAssay)),
+				OursIm:  report.Improvement(float64(r.DAWOTAssay), float64(r.PDWTAssay))},
+		)
+	}
+	return cs
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/contam"
+	"pathdriverwash/internal/pdw"
+)
+
+func quickOpts() Options {
+	return Options{
+		PDW: pdw.Options{
+			PathTimeLimit:   500 * time.Millisecond,
+			WindowTimeLimit: 2 * time.Second,
+		},
+		BaseCompressLimit: time.Second,
+	}
+}
+
+func TestRunBenchmarkPCR(t *testing.T) {
+	b, err := benchmarks.ByName("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBenchmark(b, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Row
+	if r.Benchmark != "PCR" || r.Ops != 7 || r.Devices != 5 || r.Tasks != 15 {
+		t.Errorf("row shape = %+v", r)
+	}
+	if r.PDWNWash > r.DAWONWash {
+		t.Errorf("PDW washes more than DAWO: %d vs %d", r.PDWNWash, r.DAWONWash)
+	}
+	if r.PDWTAssay > r.DAWOTAssay {
+		t.Errorf("PDW slower than DAWO: %d vs %d", r.PDWTAssay, r.DAWOTAssay)
+	}
+	if r.PDWTDelay < 0 || r.DAWOTDelay < 0 {
+		t.Errorf("negative delays: %+v", r)
+	}
+	// Both outputs must be contamination-free and valid.
+	for _, s := range []interface{ Validate() error }{out.DAWO.Schedule, out.PDW.Schedule} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid schedule: %v", err)
+		}
+	}
+	if err := contam.Verify(out.PDW.Schedule); err != nil {
+		t.Errorf("PDW not clean: %v", err)
+	}
+	if err := contam.Verify(out.DAWO.Schedule); err != nil {
+		t.Errorf("DAWO not clean: %v", err)
+	}
+	if out.DAWOTime <= 0 || out.PDWTime <= 0 {
+		t.Error("runtimes not recorded")
+	}
+}
+
+func TestRowsAndComparisons(t *testing.T) {
+	b, err := benchmarks.ByName("Kinase act-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBenchmark(b, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := []*Outcome{out}
+	rows := Rows(outs)
+	if len(rows) != 1 || rows[0].Benchmark != "Kinase act-1" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	cs := PaperComparisons(outs)
+	if len(cs) != 4 {
+		t.Fatalf("comparisons = %d want 4", len(cs))
+	}
+	metrics := map[string]bool{}
+	for _, c := range cs {
+		metrics[c.Metric] = true
+	}
+	for _, m := range []string{"N_wash", "L_wash", "T_delay", "T_assay"} {
+		if !metrics[m] {
+			t.Errorf("missing metric %s", m)
+		}
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	if clampNonNegative(-3) != 0 || clampNonNegative(5) != 5 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel sweep skipped in -short mode")
+	}
+	seq, err := RunAll(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllParallel(quickOpts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i].Row, par[i].Row
+		if s.Benchmark != p.Benchmark {
+			t.Fatalf("order differs at %d: %s vs %s", i, s.Benchmark, p.Benchmark)
+		}
+		// DAWO uses no time-limited solver: fully deterministic.
+		if s.DAWONWash != p.DAWONWash || s.DAWOLWash != p.DAWOLWash {
+			t.Errorf("%s: DAWO metrics differ between sequential and parallel", s.Benchmark)
+		}
+		// PDW's path ILPs run under wall-clock budgets; contention can
+		// drop an exact path to the BFS fallback, so only the headline
+		// shape is asserted for the parallel run.
+		if p.PDWNWash > p.DAWONWash || p.PDWTAssay > p.DAWOTAssay {
+			t.Errorf("%s: parallel PDW lost to DAWO (N %d vs %d, Ta %d vs %d)",
+				s.Benchmark, p.PDWNWash, p.DAWONWash, p.PDWTAssay, p.DAWOTAssay)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package milp solves mixed 0-1/integer linear programs with best-first
+// branch & bound over the LP relaxations of internal/lp. It stands in
+// for the commercial ILP solver (Gurobi) used in the paper's experiments;
+// like the paper's setup, solves run under a time limit and return the
+// best-effort incumbent when the limit is reached (Sec. IV: "the runtime
+// ... was limited ... to return the best-effort results").
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pathdriverwash/internal/lp"
+)
+
+// Problem is a linear program plus integrality marks.
+type Problem struct {
+	LP lp.Problem
+	// Integer[i] requires variable i to take an integral value. Binary
+	// variables are integer variables with bounds [0,1].
+	Integer []bool
+}
+
+// NewProblem allocates a MILP with n continuous variables.
+func NewProblem(n int) *Problem {
+	return &Problem{LP: *lp.NewProblem(n), Integer: make([]bool, n)}
+}
+
+// AddBinary appends a new binary variable and returns its index.
+func (p *Problem) AddBinary() int {
+	i := p.LP.NumVars
+	p.LP.NumVars++
+	p.LP.Objective = append(p.LP.Objective, 0)
+	p.Integer = append(p.Integer, true)
+	p.LP.SetBounds(i, 0, 1)
+	return i
+}
+
+// AddContinuous appends a new continuous variable with bounds [lo,hi]
+// and returns its index.
+func (p *Problem) AddContinuous(lo, hi float64) int {
+	i := p.LP.NumVars
+	p.LP.NumVars++
+	p.LP.Objective = append(p.LP.Objective, 0)
+	p.Integer = append(p.Integer, false)
+	p.LP.SetBounds(i, lo, hi)
+	return i
+}
+
+// SetObjective sets the cost coefficient of variable i.
+func (p *Problem) SetObjective(i int, c float64) { p.LP.Objective[i] = c }
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// MILP outcomes. Feasible means the search hit a limit with an incumbent
+// in hand; Limit means it hit a limit without one.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	Unbounded
+	Limit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible(limit)"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tunes the branch & bound search.
+type Options struct {
+	// TimeLimit caps wall-clock search time; 0 means 30 s.
+	TimeLimit time.Duration
+	// MaxNodes caps explored nodes; 0 means 200000.
+	MaxNodes int
+	// Incumbent optionally provides a known feasible point used for
+	// pruning from the start (e.g. a heuristic schedule). It is
+	// verified; an infeasible incumbent is an error.
+	Incumbent []float64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Nodes is the number of explored branch & bound nodes.
+	Nodes int
+}
+
+// Gap returns the relative optimality gap of the incumbent, or +inf if
+// there is none.
+func (r Result) Gap() float64 {
+	if r.Status != Optimal && r.Status != Feasible {
+		return math.Inf(1)
+	}
+	if r.Status == Optimal {
+		return 0
+	}
+	den := math.Max(1, math.Abs(r.Obj))
+	return (r.Obj - r.Bound) / den
+}
+
+const intTol = 1e-6
+
+type node struct {
+	bound  float64
+	fixLo  map[int]float64
+	fixHi  map[int]float64
+	id     int
+	depth  int
+	fracX  []float64 // LP relaxation point at this node's parent solve
+	branch int       // variable branched at this node (-1 for root)
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	if q[i].depth != q[j].depth {
+		return q[i].depth > q[j].depth // plunge deeper first on ties
+	}
+	return q[i].id < q[j].id
+}
+func (q nodeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)   { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch & bound.
+func Solve(p *Problem, opts Options) (Result, error) {
+	if len(p.Integer) != p.LP.NumVars {
+		return Result{}, fmt.Errorf("milp: Integer has %d marks for %d variables", len(p.Integer), p.LP.NumVars)
+	}
+	limit := opts.TimeLimit
+	if limit <= 0 {
+		limit = 30 * time.Second
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	deadline := time.Now().Add(limit)
+
+	var haveInc bool
+	var incX []float64
+	incObj := math.Inf(1)
+	if opts.Incumbent != nil {
+		if err := p.CheckFeasible(opts.Incumbent); err != nil {
+			return Result{}, fmt.Errorf("milp: provided incumbent is infeasible: %w", err)
+		}
+		incX = append([]float64(nil), opts.Incumbent...)
+		incObj = p.objOf(incX)
+		haveInc = true
+	}
+
+	solveNode := func(n *node) (lp.Result, error) {
+		sub := p.LP // shallow copy; bounds slices replaced below
+		lo := append([]float64(nil), padded(p.LP.Lower, p.LP.NumVars, 0)...)
+		hi := append([]float64(nil), padded(p.LP.Upper, p.LP.NumVars, math.Inf(1))...)
+		for i, v := range n.fixLo {
+			if v > lo[i] {
+				lo[i] = v
+			}
+		}
+		for i, v := range n.fixHi {
+			if v < hi[i] {
+				hi[i] = v
+			}
+		}
+		for i := range lo {
+			if lo[i] > hi[i]+1e-12 {
+				return lp.Result{Status: lp.Infeasible}, nil
+			}
+		}
+		sub.Lower, sub.Upper = lo, hi
+		return lp.Solve(&sub)
+	}
+
+	root := &node{bound: math.Inf(-1), fixLo: map[int]float64{}, fixHi: map[int]float64{}, branch: -1}
+	queue := &nodeQueue{root}
+	heap.Init(queue)
+	nextID := 1
+	nodes := 0
+	bestBound := math.Inf(-1)
+	hitLimit := false
+
+	for queue.Len() > 0 {
+		if nodes >= maxNodes || time.Now().After(deadline) {
+			hitLimit = true
+			break
+		}
+		n := heap.Pop(queue).(*node)
+		if haveInc && n.bound >= incObj-1e-9 {
+			continue // pruned by bound
+		}
+		res, err := solveNode(n)
+		if err != nil {
+			if errors.Is(err, lp.ErrIterationLimit) {
+				hitLimit = true
+				break
+			}
+			return Result{}, err
+		}
+		nodes++
+		switch res.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if n.branch < 0 && !haveInc {
+				return Result{Status: Unbounded, Nodes: nodes}, nil
+			}
+			// A branched subproblem relaxation can be unbounded only if
+			// the root was; treat as no useful bound and keep searching
+			// by branching on the first unfixed integer.
+			continue
+		}
+		if haveInc && res.Obj >= incObj-1e-9 {
+			continue
+		}
+		frac := p.mostFractional(res.X)
+		if frac < 0 {
+			// Integral: new incumbent.
+			if !haveInc || res.Obj < incObj-1e-12 {
+				incX = roundIntegers(p, res.X)
+				incObj = p.objOf(incX)
+				haveInc = true
+			}
+			continue
+		}
+		v := res.X[frac]
+		down := &node{
+			bound: res.Obj, id: nextID, depth: n.depth + 1, branch: frac,
+			fixLo: n.fixLo, fixHi: withOverride(n.fixHi, frac, math.Floor(v)),
+		}
+		nextID++
+		up := &node{
+			bound: res.Obj, id: nextID, depth: n.depth + 1, branch: frac,
+			fixLo: withOverride(n.fixLo, frac, math.Ceil(v)), fixHi: n.fixHi,
+		}
+		nextID++
+		heap.Push(queue, down)
+		heap.Push(queue, up)
+	}
+
+	// Best remaining bound: min over open nodes, or incumbent if closed.
+	bestBound = incObj
+	for _, n := range *queue {
+		if n.bound < bestBound {
+			bestBound = n.bound
+		}
+	}
+	if !hitLimit && queue.Len() == 0 {
+		if !haveInc {
+			return Result{Status: Infeasible, Nodes: nodes}, nil
+		}
+		return Result{Status: Optimal, X: incX, Obj: incObj, Bound: incObj, Nodes: nodes}, nil
+	}
+	if haveInc {
+		return Result{Status: Feasible, X: incX, Obj: incObj, Bound: bestBound, Nodes: nodes}, nil
+	}
+	return Result{Status: Limit, Nodes: nodes, Bound: bestBound}, nil
+}
+
+func padded(s []float64, n int, def float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(s) {
+			out[i] = s[i]
+		} else {
+			out[i] = def
+		}
+	}
+	return out
+}
+
+func withOverride(m map[int]float64, k int, v float64) map[int]float64 {
+	out := make(map[int]float64, len(m)+1)
+	for kk, vv := range m {
+		out[kk] = vv
+	}
+	out[k] = v
+	return out
+}
+
+// mostFractional returns the integer variable whose relaxation value is
+// farthest from integral, or -1 if all are integral within tolerance.
+func (p *Problem) mostFractional(x []float64) int {
+	best, bestDist := -1, intTol
+	for i, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		d := math.Min(f, 1-f)
+		if d > bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+func roundIntegers(p *Problem, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i, isInt := range p.Integer {
+		if isInt {
+			out[i] = math.Round(out[i])
+		}
+	}
+	return out
+}
+
+func (p *Problem) objOf(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < p.LP.NumVars && i < len(p.LP.Objective); i++ {
+		s += p.LP.Objective[i] * x[i]
+	}
+	return s
+}
+
+// CheckFeasible verifies x against bounds, constraints, and integrality.
+func (p *Problem) CheckFeasible(x []float64) error {
+	if len(x) != p.LP.NumVars {
+		return fmt.Errorf("milp: point has %d entries for %d variables", len(x), p.LP.NumVars)
+	}
+	const tol = 1e-6
+	lo := padded(p.LP.Lower, p.LP.NumVars, 0)
+	hi := padded(p.LP.Upper, p.LP.NumVars, math.Inf(1))
+	for i, v := range x {
+		if v < lo[i]-tol || v > hi[i]+tol {
+			return fmt.Errorf("milp: x[%d]=%g violates bounds [%g,%g]", i, v, lo[i], hi[i])
+		}
+		if p.Integer[i] && math.Abs(v-math.Round(v)) > tol {
+			return fmt.Errorf("milp: x[%d]=%g is not integral", i, v)
+		}
+	}
+	for _, c := range p.LP.Constraints {
+		s := 0.0
+		for i, cf := range c.Coefs {
+			s += cf * x[i]
+		}
+		ok := true
+		switch c.Rel {
+		case lp.LE:
+			ok = s <= c.RHS+1e-5
+		case lp.GE:
+			ok = s >= c.RHS-1e-5
+		case lp.EQ:
+			ok = math.Abs(s-c.RHS) <= 1e-5
+		}
+		if !ok {
+			return fmt.Errorf("milp: constraint %q violated: lhs=%g rel=%v rhs=%g", c.Name, s, c.Rel, c.RHS)
+		}
+	}
+	return nil
+}

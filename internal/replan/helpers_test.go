@@ -1,0 +1,30 @@
+package replan
+
+import (
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/route"
+	"pathdriverwash/internal/washpath"
+)
+
+// chainOrderForTest re-exports the washpath chain ordering for tests.
+func chainOrderForTest(cells []geom.Point) ([]geom.Point, error) {
+	return washpath.ChainOrder(cells)
+}
+
+// flushForTest routes a complete flush path avoiding non-target devices.
+func flushForTest(chip *grid.Chip, chain []geom.Point) (grid.Path, *grid.Port, *grid.Port, error) {
+	tset := map[geom.Point]bool{}
+	for _, c := range chain {
+		tset[c] = true
+	}
+	avoid := map[geom.Point]bool{}
+	for _, d := range chip.Devices() {
+		for _, c := range d.Cells() {
+			if !tset[c] {
+				avoid[c] = true
+			}
+		}
+	}
+	return route.FlushPath(chip, chain, route.Options{AvoidPorts: true, AvoidDevices: avoid})
+}

@@ -1,0 +1,531 @@
+// Package replan rebuilds an assay schedule after wash operations have
+// been decided: it derives the precedence DAG that the time-window ILP
+// of Sec. III constrains (operation dependencies, transport/removal
+// sequencing, wash-after-contamination and wash-before-reuse edges,
+// ψ-integration edges of Eq. 21), fixes the relative order of
+// conflicting base tasks to the input schedule's order, and provides a
+// greedy earliest-fit rebuild used directly by the DAWO baseline and as
+// the ILP's initial incumbent in PDW.
+package replan
+
+import (
+	"fmt"
+	"sort"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/schedule"
+)
+
+// WashSpec describes one decided wash operation w_j.
+type WashSpec struct {
+	ID string
+	// Path is the complete wash path (Eqs. 12-15).
+	Path grid.Path
+	// Targets are the contaminated cells the wash covers.
+	Targets []geom.Point
+	// Duration is t(w_j) of Eq. 17, in whole seconds.
+	Duration int
+	// Culprits are base task IDs whose residue the wash removes; the
+	// wash must start after each of them ends (Eq. 16's t_{j,e}).
+	Culprits []string
+	// Before are base task IDs that require cleanliness; the wash must
+	// end before each of them starts (Eq. 16's t_{j,s}).
+	Before []string
+	// Integrates lists removal task IDs absorbed into the wash (ψ=1,
+	// Eq. 21): they are skipped and their excess cells flushed by the
+	// wash instead.
+	Integrates []string
+}
+
+// Plan is the rebuilt problem: tasks (base clones plus washes), the
+// precedence DAG, and the conflict pairs whose order stays free.
+type Plan struct {
+	Base   *schedule.Schedule
+	Washes []WashSpec
+
+	// Tasks are the cloned tasks in a deterministic order; washes last.
+	Tasks []*schedule.Task
+	// Index maps task ID to its position in Tasks.
+	Index map[string]int
+	// Durations are the execution durations (0 for integrated removals).
+	Durations []int
+	// Edges are precedence pairs (i before j): end_i <= start_j.
+	Edges [][2]int
+	// FreePairs are conflict-capable pairs whose order the optimizer may
+	// choose (each involves at least one wash).
+	FreePairs [][2]int
+}
+
+// Build assembles the plan.
+func Build(base *schedule.Schedule, washes []WashSpec) (*Plan, error) {
+	p := &Plan{Base: base, Washes: washes, Index: map[string]int{}}
+	integrated := map[string]string{}
+	for _, w := range washes {
+		for _, rid := range w.Integrates {
+			if prev, dup := integrated[rid]; dup {
+				return nil, fmt.Errorf("replan: removal %s integrated into both %s and %s", rid, prev, w.ID)
+			}
+			integrated[rid] = w.ID
+		}
+	}
+
+	// Clone base tasks in base (start, ID) order for determinism.
+	baseTasks := base.SortedByStart()
+	for _, t := range baseTasks {
+		cp := *t
+		cp.Path = grid.NewPath(append([]geom.Point(nil), t.Path.Cells...)...)
+		cp.WashTargets = append([]geom.Point(nil), t.WashTargets...)
+		cp.ContamCells = append([]geom.Point(nil), t.ContamCells...)
+		cp.ExcessCells = append([]geom.Point(nil), t.ExcessCells...)
+		cp.SensitiveCells = append([]geom.Point(nil), t.SensitiveCells...)
+		if wid, ok := integrated[t.ID]; ok {
+			if t.Kind != schedule.Removal {
+				return nil, fmt.Errorf("replan: %s is not a removal but was integrated", t.ID)
+			}
+			cp.Integrated = true
+			cp.IntegratedInto = wid
+		}
+		p.add(&cp, cp.MinDuration)
+	}
+	// Wash tasks.
+	for _, w := range washes {
+		if w.Duration <= 0 {
+			return nil, fmt.Errorf("replan: wash %s has duration %d", w.ID, w.Duration)
+		}
+		wt := &schedule.Task{
+			ID: w.ID, Kind: schedule.Wash,
+			Path:        grid.NewPath(append([]geom.Point(nil), w.Path.Cells...)...),
+			Fluid:       "buffer",
+			MinDuration: w.Duration,
+			WashTargets: append([]geom.Point(nil), w.Targets...),
+		}
+		p.add(wt, w.Duration)
+	}
+
+	if err := p.buildEdges(integrated); err != nil {
+		return nil, err
+	}
+	p.buildFreePairs()
+	return p, nil
+}
+
+func (p *Plan) add(t *schedule.Task, dur int) {
+	p.Index[t.ID] = len(p.Tasks)
+	p.Tasks = append(p.Tasks, t)
+	if t.Kind == schedule.Removal && t.Integrated {
+		dur = 0
+	}
+	p.Durations = append(p.Durations, dur)
+}
+
+func (p *Plan) edge(from, to string) error {
+	i, ok := p.Index[from]
+	if !ok {
+		return fmt.Errorf("replan: unknown task %q in precedence edge", from)
+	}
+	j, ok := p.Index[to]
+	if !ok {
+		return fmt.Errorf("replan: unknown task %q in precedence edge", to)
+	}
+	if i == j {
+		return fmt.Errorf("replan: self edge on %q", from)
+	}
+	p.Edges = append(p.Edges, [2]int{i, j})
+	return nil
+}
+
+func (p *Plan) buildEdges(integrated map[string]string) error {
+	base := p.Base
+	// Structural edges (Eqs. 2, 4, 5): derived from task provenance.
+	for _, t := range p.Tasks {
+		switch t.Kind {
+		case schedule.Transport:
+			if t.EdgeFrom != "" { // product transport after producer op
+				if err := p.edge("op-"+t.EdgeFrom, t.ID); err != nil {
+					return err
+				}
+			}
+			if t.EdgeTo != "" { // before consumer op
+				if err := p.edge(t.ID, "op-"+t.EdgeTo); err != nil {
+					return err
+				}
+			}
+		case schedule.Removal:
+			// After its transport, before the consumer op. The matching
+			// transport is tr-<from>-<to> or inj-<to>-<i>; removals for
+			// injections are named rm-inj-<op>-<i>.
+			trID, ok := removalTransportID(t.ID, t.EdgeFrom, t.EdgeTo)
+			if !ok {
+				return fmt.Errorf("replan: cannot derive transport for removal %s", t.ID)
+			}
+			if !t.Integrated {
+				if err := p.edge(trID, t.ID); err != nil {
+					return err
+				}
+				if t.EdgeTo != "" {
+					if err := p.edge(t.ID, "op-"+t.EdgeTo); err != nil {
+						return err
+					}
+				}
+			} else {
+				// ψ=1: the wash replaces the removal (Eq. 21): wash after
+				// the transport, before the consumer op.
+				wid := integrated[t.ID]
+				if err := p.edge(trID, wid); err != nil {
+					return err
+				}
+				if t.EdgeTo != "" {
+					if err := p.edge(wid, "op-"+t.EdgeTo); err != nil {
+						return err
+					}
+				}
+				// The removal itself trails the wash (zero duration).
+				if err := p.edge(wid, t.ID); err != nil {
+					return err
+				}
+			}
+		case schedule.WasteDisposal:
+			if t.EdgeFrom != "" {
+				if err := p.edge("op-"+t.EdgeFrom, t.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Wash window edges (Eq. 16). A culprit that is itself an integrated
+	// removal never executes and deposits nothing, so its ordering edge
+	// is dropped (its excess is flushed by the absorbing wash instead).
+	for wi := range p.Washes {
+		w := &p.Washes[wi]
+		for _, c := range w.Culprits {
+			if _, gone := integrated[c]; gone {
+				continue
+			}
+			if err := p.edge(c, w.ID); err != nil {
+				return err
+			}
+		}
+		// A wash flushing a device's cells must complete before the next
+		// inputs arrive in that device, or the buffer would carry the
+		// fresh inputs away. Strengthen Before with the user ops'
+		// incoming transports where that stays consistent with the
+		// culprit ordering (see DESIGN.md, holding hazards).
+		w.Before = p.strengthenBefore(base, w)
+		for _, b := range w.Before {
+			if err := p.edge(w.ID, b); err != nil {
+				return err
+			}
+		}
+	}
+	// Conflict-capable base pairs keep their base order (the free ε of
+	// Eq. 8 is fixed to the synthesized order; see DESIGN.md).
+	pl := schedule.NewPlacer(base)
+	bt := base.SortedByStart()
+	for i := 0; i < len(bt); i++ {
+		for j := i + 1; j < len(bt); j++ {
+			a, b := bt[i], bt[j]
+			if !a.Active() || !b.Active() {
+				continue
+			}
+			// Removals absorbed into washes (ψ=1) hold no resources in
+			// this plan; their timing is governed by the wash edges.
+			if _, ok := integrated[a.ID]; ok {
+				continue
+			}
+			if _, ok := integrated[b.ID]; ok {
+				continue
+			}
+			if !pl.ConflictCapable(a, b) {
+				continue
+			}
+			first, second := a, b
+			if b.End <= a.Start {
+				first, second = b, a
+			}
+			p.Edges = append(p.Edges, [2]int{p.Index[first.ID], p.Index[second.ID]})
+		}
+	}
+	// Deduplicate edges.
+	seen := map[[2]int]bool{}
+	out := p.Edges[:0]
+	for _, e := range p.Edges {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	p.Edges = out
+	return nil
+}
+
+// strengthenBefore extends a wash's Before set: when the wash path
+// covers cells of a device and an existing Before user is an operation
+// on that device, the operation's incoming transports are added too, so
+// the buffer never flushes freshly-arrived inputs out of the device.
+// A transport is only added when every culprit ends before it starts in
+// the base schedule — otherwise the edge would create a cycle and the
+// hazard is left to the simulator's holding report.
+func (p *Plan) strengthenBefore(base *schedule.Schedule, w *WashSpec) []string {
+	covers := map[*grid.Device]bool{}
+	for _, c := range w.Targets {
+		if d := base.Chip.DeviceAt(c); d != nil {
+			covers[d] = true
+		}
+	}
+	if len(covers) == 0 {
+		return w.Before
+	}
+	out := append([]string(nil), w.Before...)
+	maxCulpritEnd := 0
+	for _, c := range w.Culprits {
+		if ct := base.Task(c); ct != nil && ct.End > maxCulpritEnd {
+			maxCulpritEnd = ct.End
+		}
+	}
+	for _, b := range w.Before {
+		user := base.Task(b)
+		if user == nil || user.Kind != schedule.Operation || !covers[user.Device] {
+			continue
+		}
+		for _, t := range base.Tasks() {
+			if t.Kind != schedule.Transport || t.EdgeTo != user.OpID {
+				continue
+			}
+			if t.Start < maxCulpritEnd {
+				continue // would contradict culprit ordering
+			}
+			dup := false
+			for _, x := range out {
+				if x == t.ID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, t.ID)
+			}
+		}
+	}
+	return out
+}
+
+// TransportIDForRemoval reconstructs the transport task ID a removal
+// follows. Removal IDs are rm-<from>-<to> or rm-inj-<op>-<i>.
+func TransportIDForRemoval(rmID, from, to string) (string, bool) {
+	return removalTransportID(rmID, from, to)
+}
+
+// removalTransportID reconstructs the transport task ID a removal
+// follows. Removal IDs are rm-<from>-<to> or rm-inj-<op>-<i>.
+func removalTransportID(rmID, from, to string) (string, bool) {
+	if from != "" {
+		return "tr-" + from + "-" + to, true
+	}
+	const pfx = "rm-"
+	if len(rmID) > len(pfx) && rmID[:len(pfx)] == pfx {
+		return rmID[len(pfx):], true // "rm-inj-o1-1" -> "inj-o1-1"
+	}
+	return "", false
+}
+
+// buildFreePairs finds conflict-capable pairs not ordered by the DAG;
+// with base pairs fixed, each free pair involves at least one wash.
+func (p *Plan) buildFreePairs() {
+	reach := p.reachability()
+	pl := schedule.NewPlacer(p.Base)
+	n := len(p.Tasks)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := p.Tasks[i], p.Tasks[j]
+			if a.Kind != schedule.Wash && b.Kind != schedule.Wash {
+				continue
+			}
+			if !a.Active() || !b.Active() {
+				continue
+			}
+			if !pl.ConflictCapable(a, b) {
+				continue
+			}
+			if reach[i][j] || reach[j][i] {
+				continue
+			}
+			p.FreePairs = append(p.FreePairs, [2]int{i, j})
+		}
+	}
+}
+
+// reachability computes the transitive closure of the DAG.
+func (p *Plan) reachability() []map[int]bool {
+	n := len(p.Tasks)
+	adj := make([][]int, n)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reach := make([]map[int]bool, n)
+	var dfs func(root, v int)
+	dfs = func(root, v int) {
+		for _, w := range adj[v] {
+			if !reach[root][w] {
+				reach[root][w] = true
+				dfs(root, w)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		reach[i] = map[int]bool{}
+		dfs(i, i)
+	}
+	return reach
+}
+
+// TopoOrder returns task indices topologically sorted by the DAG, ties
+// broken by base start time then ID. It fails on cycles.
+func (p *Plan) TopoOrder() ([]int, error) {
+	n := len(p.Tasks)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range p.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	less := func(a, b int) bool {
+		ta, tb := p.Tasks[a], p.Tasks[b]
+		if ta.Start != tb.Start {
+			return ta.Start < tb.Start
+		}
+		return ta.ID < tb.ID
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Slice(ready, func(x, y int) bool { return less(ready[x], ready[y]) })
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("replan: precedence cycle (%d of %d ordered; stuck: %s)",
+			len(order), n, p.describeCycle(indeg))
+	}
+	return order, nil
+}
+
+// describeCycle walks one cycle among the tasks that never reached
+// in-degree zero, for error messages.
+func (p *Plan) describeCycle(indeg []int) string {
+	stuck := map[int]bool{}
+	for i, d := range indeg {
+		if d > 0 {
+			stuck[i] = true
+		}
+	}
+	adj := map[int][]int{}
+	for _, e := range p.Edges {
+		if stuck[e[0]] && stuck[e[1]] {
+			adj[e[1]] = append(adj[e[1]], e[0]) // predecessors
+		}
+	}
+	// Follow predecessors from an arbitrary stuck node: every stuck node
+	// has a stuck predecessor, so the walk must close a cycle.
+	for start := range stuck {
+		seen := map[int]int{}
+		path := []int{start}
+		seen[start] = 0
+		cur := start
+		for len(adj[cur]) > 0 {
+			cur = adj[cur][0]
+			if at, ok := seen[cur]; ok {
+				var ids []string
+				for _, v := range path[at:] {
+					ids = append(ids, p.Tasks[v].ID)
+				}
+				ids = append(ids, p.Tasks[cur].ID)
+				return fmt.Sprintf("cycle %v", ids)
+			}
+			seen[cur] = len(path)
+			path = append(path, cur)
+		}
+	}
+	return "no explicit cycle found"
+}
+
+// Greedy rebuilds the schedule: tasks are placed in topological order at
+// the earliest conflict-free start after all predecessors end. This is
+// the sweep-line style assignment of the DAWO baseline and PDW's ILP
+// incumbent.
+func (p *Plan) Greedy() (*schedule.Schedule, error) {
+	order, err := p.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	out := schedule.New(p.Base.Chip, p.Base.Assay)
+	pl := schedule.NewPlacer(out)
+	preds := make([][]int, len(p.Tasks))
+	for _, e := range p.Edges {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	placed := make([]*schedule.Task, len(p.Tasks))
+	for _, idx := range order {
+		tpl := *p.Tasks[idx] // copy, keep plan immutable
+		t := &tpl
+		ready := 0
+		for _, pi := range preds[idx] {
+			if placed[pi] == nil {
+				return nil, fmt.Errorf("replan: predecessor of %s not yet placed", t.ID)
+			}
+			if placed[pi].End > ready {
+				ready = placed[pi].End
+			}
+		}
+		if !t.Active() {
+			// Integrated removal: trail its wash with zero width.
+			t.Start, t.End = ready, ready
+			if err := out.Add(t); err != nil {
+				return nil, err
+			}
+			placed[idx] = t
+			continue
+		}
+		if _, err := pl.Place(t, ready, p.Durations[idx]); err != nil {
+			return nil, err
+		}
+		placed[idx] = t
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("replan: greedy rebuild invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Apply materializes a schedule from explicit start times (e.g. the ILP
+// solution), indexed like Tasks.
+func (p *Plan) Apply(starts []int) (*schedule.Schedule, error) {
+	if len(starts) != len(p.Tasks) {
+		return nil, fmt.Errorf("replan: %d starts for %d tasks", len(starts), len(p.Tasks))
+	}
+	out := schedule.New(p.Base.Chip, p.Base.Assay)
+	for i, tpl := range p.Tasks {
+		cp := *tpl
+		cp.Start = starts[i]
+		cp.End = starts[i] + p.Durations[i]
+		if err := out.Add(&cp); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("replan: applied schedule invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package report renders the evaluation artifacts of Sec. IV: the
+// Table II comparison (N_wash, L_wash, T_delay, T_assay with improvement
+// percentages), and the Fig. 4 / Fig. 5 bar data (average operation
+// waiting time, total wash time), as ASCII tables, CSV, and simple
+// ASCII bar charts.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one benchmark's measured comparison.
+type Row struct {
+	Benchmark string
+	// Shape holds the |O|/|D|/|E| triple.
+	Ops, Devices, Tasks int
+
+	DAWONWash, PDWNWash   int
+	DAWOLWash, PDWLWash   float64 // mm
+	DAWOTDelay, PDWTDelay int     // s
+	DAWOTAssay, PDWTAssay int     // s
+
+	// Fig. 4 / Fig. 5 series.
+	DAWOAvgWait, PDWAvgWait   float64 // s
+	DAWOWashTime, PDWWashTime int     // s
+
+	// Buffer fluid consumption (mm of buffer column, Sec. I's cost).
+	DAWOBuffer, PDWBuffer float64
+}
+
+// Improvement returns the percentage reduction from a to b ((a-b)/a).
+func Improvement(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}
+
+// TableII renders the paper's Table II layout for the measured rows.
+func TableII(rows []Row) string {
+	var b strings.Builder
+	head := fmt.Sprintf("%-14s %-11s | %22s | %28s | %22s | %24s",
+		"Benchmark", "|O|/|D|/|E|",
+		"N_wash  DAWO  PDW  Im%", "L_wash(mm)  DAWO   PDW  Im%",
+		"T_delay DAWO  PDW  Im%", "T_assay  DAWO   PDW  Im%")
+	b.WriteString(head + "\n")
+	b.WriteString(strings.Repeat("-", len(head)) + "\n")
+	var sumN, sumL, sumD, sumA float64
+	for _, r := range rows {
+		imN := Improvement(float64(r.DAWONWash), float64(r.PDWNWash))
+		imL := Improvement(r.DAWOLWash, r.PDWLWash)
+		imD := Improvement(float64(r.DAWOTDelay), float64(r.PDWTDelay))
+		imA := Improvement(float64(r.DAWOTAssay), float64(r.PDWTAssay))
+		sumN += imN
+		sumL += imL
+		sumD += imD
+		sumA += imA
+		fmt.Fprintf(&b, "%-14s %2d/%2d/%2d    | %13d %4d %5.2f | %16.0f %5.0f %5.2f | %12d %4d %6.2f | %14d %5d %5.2f\n",
+			r.Benchmark, r.Ops, r.Devices, r.Tasks,
+			r.DAWONWash, r.PDWNWash, imN,
+			r.DAWOLWash, r.PDWLWash, imL,
+			r.DAWOTDelay, r.PDWTDelay, imD,
+			r.DAWOTAssay, r.PDWTAssay, imA)
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-14s %-11s | %18s %5.2f | %22s %5.2f | %17s %6.2f | %20s %5.2f\n",
+			"Average", "", "", sumN/n, "", sumL/n, "", sumD/n, "", sumA/n)
+	}
+	return b.String()
+}
+
+// CSV renders the rows as comma-separated values with a header.
+func CSV(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("benchmark,ops,devices,tasks," +
+		"dawo_nwash,pdw_nwash,dawo_lwash_mm,pdw_lwash_mm," +
+		"dawo_tdelay_s,pdw_tdelay_s,dawo_tassay_s,pdw_tassay_s," +
+		"dawo_avgwait_s,pdw_avgwait_s,dawo_washtime_s,pdw_washtime_s," +
+		"dawo_buffer_mm,pdw_buffer_mm\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%.1f,%.1f,%d,%d,%d,%d,%.2f,%.2f,%d,%d,%.1f,%.1f\n",
+			r.Benchmark, r.Ops, r.Devices, r.Tasks,
+			r.DAWONWash, r.PDWNWash, r.DAWOLWash, r.PDWLWash,
+			r.DAWOTDelay, r.PDWTDelay, r.DAWOTAssay, r.PDWTAssay,
+			r.DAWOAvgWait, r.PDWAvgWait, r.DAWOWashTime, r.PDWWashTime,
+			r.DAWOBuffer, r.PDWBuffer)
+	}
+	return b.String()
+}
+
+// BarChart renders grouped horizontal bars comparing two series per
+// label, in the spirit of the paper's Fig. 4 / Fig. 5 column charts.
+func BarChart(title, unit string, labels []string, dawo, pdw []float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	maxV := 0.0
+	for i := range labels {
+		if dawo[i] > maxV {
+			maxV = dawo[i]
+		}
+		if pdw[i] > maxV {
+			maxV = pdw[i]
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	const width = 46
+	for i, l := range labels {
+		db := int(dawo[i] / maxV * width)
+		pb := int(pdw[i] / maxV * width)
+		fmt.Fprintf(&b, "%-14s DAWO %-*s %6.1f %s\n", l, width, strings.Repeat("#", db), dawo[i], unit)
+		fmt.Fprintf(&b, "%-14s PDW  %-*s %6.1f %s\n", "", width, strings.Repeat("=", pb), pdw[i], unit)
+	}
+	return b.String()
+}
+
+// Fig4 renders the average-waiting-time comparison.
+func Fig4(rows []Row) string {
+	labels, d, p := series(rows, func(r Row) (float64, float64) { return r.DAWOAvgWait, r.PDWAvgWait })
+	return BarChart("Fig. 4: average waiting time of biochemical operations", "s", labels, d, p)
+}
+
+// Fig5 renders the total-wash-time comparison.
+func Fig5(rows []Row) string {
+	labels, d, p := series(rows, func(r Row) (float64, float64) {
+		return float64(r.DAWOWashTime), float64(r.PDWWashTime)
+	})
+	return BarChart("Fig. 5: total wash time", "s", labels, d, p)
+}
+
+func series(rows []Row, f func(Row) (float64, float64)) ([]string, []float64, []float64) {
+	labels := make([]string, len(rows))
+	d := make([]float64, len(rows))
+	p := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Benchmark
+		d[i], p[i] = f(r)
+	}
+	return labels, d, p
+}
+
+// PaperComparison renders measured-vs-paper improvement percentages for
+// EXPERIMENTS.md: per benchmark and metric, the paper's reduction and
+// the measured reduction side by side.
+type PaperComparison struct {
+	Benchmark string
+	Metric    string
+	PaperIm   float64
+	OursIm    float64
+}
+
+// ComparisonTable renders the paper-vs-measured reductions in the
+// caller's row order.
+func ComparisonTable(cs []PaperComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-10s %14s %14s\n", "Benchmark", "Metric", "Paper Im%", "Measured Im%")
+	b.WriteString(strings.Repeat("-", 56) + "\n")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-14s %-10s %14.2f %14.2f\n", c.Benchmark, c.Metric, c.PaperIm, c.OursIm)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{
+			Benchmark: "PCR", Ops: 7, Devices: 5, Tasks: 15,
+			DAWONWash: 4, PDWNWash: 3,
+			DAWOLWash: 110, PDWLWash: 80,
+			DAWOTDelay: 10, PDWTDelay: 7,
+			DAWOTAssay: 33, PDWTAssay: 30,
+			DAWOAvgWait: 5, PDWAvgWait: 2.5,
+			DAWOWashTime: 12, PDWWashTime: 9,
+		},
+		{
+			Benchmark: "IVD", Ops: 12, Devices: 9, Tasks: 24,
+			DAWONWash: 10, PDWNWash: 6,
+			DAWOLWash: 200, PDWLWash: 150,
+			DAWOTDelay: 21, PDWTDelay: 16,
+			DAWOTAssay: 51, PDWTAssay: 46,
+			DAWOAvgWait: 8, PDWAvgWait: 4,
+			DAWOWashTime: 20, PDWWashTime: 14,
+		},
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{4, 3, 25},
+		{110, 80, 27.2727272727},
+		{10, 10, 0},
+		{0, 5, 0}, // guarded division
+	}
+	for _, c := range cases {
+		got := Improvement(c.a, c.b)
+		if diff := got - c.want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("Improvement(%g,%g) = %g want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	s := TableII(sampleRows())
+	for _, want := range []string{"PCR", "IVD", "Average", "N_wash", "L_wash", "T_delay", "T_assay", "25.00", "27.27"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableII missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, 2 rows, average
+		t.Errorf("TableII has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := CSV(sampleRows())
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "PCR,7,5,15,4,3,110.0,80.0,10,7,33,30,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	s := BarChart("t", "s", []string{"a", "b"}, []float64{10, 5}, []float64{5, 2.5})
+	if !strings.Contains(s, "t\n") {
+		t.Error("missing title")
+	}
+	// Largest value gets the full bar width.
+	if !strings.Contains(s, strings.Repeat("#", 46)) {
+		t.Errorf("max bar not full width:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 5 { // title + 2 groups x 2 lines
+		t.Errorf("unexpected line count:\n%s", s)
+	}
+}
+
+func TestBarChartZeroSeries(t *testing.T) {
+	s := BarChart("t", "s", []string{"a"}, []float64{0}, []float64{0})
+	if !strings.Contains(s, "0.0") {
+		t.Errorf("zero chart wrong:\n%s", s)
+	}
+}
+
+func TestFig4Fig5(t *testing.T) {
+	rows := sampleRows()
+	f4 := Fig4(rows)
+	if !strings.Contains(f4, "waiting time") || !strings.Contains(f4, "PCR") {
+		t.Errorf("Fig4 wrong:\n%s", f4)
+	}
+	f5 := Fig5(rows)
+	if !strings.Contains(f5, "total wash time") || !strings.Contains(f5, "IVD") {
+		t.Errorf("Fig5 wrong:\n%s", f5)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	s := ComparisonTable([]PaperComparison{
+		{Benchmark: "PCR", Metric: "N_wash", PaperIm: 25, OursIm: 23.1},
+	})
+	if !strings.Contains(s, "PCR") || !strings.Contains(s, "23.10") || !strings.Contains(s, "25.00") {
+		t.Errorf("comparison table wrong:\n%s", s)
+	}
+}

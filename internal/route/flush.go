@@ -1,0 +1,56 @@
+package route
+
+import (
+	"fmt"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+// FlushPath routes a complete flow path [flow port - targets - waste
+// port] through all target cells, which must form a connected chain in
+// the given order (e.g. a contaminated sub-segment of an earlier flow
+// path). All flow-port/waste-port pairs and both chain orientations are
+// tried; the shortest valid simple path wins. This is the BFS wash-path
+// construction used by the DAWO baseline and by excess-fluid removal
+// routing; PDW's ILP (internal/washpath) optimizes the same structure
+// globally.
+func FlushPath(c *grid.Chip, chain []geom.Point, o Options) (grid.Path, *grid.Port, *grid.Port, error) {
+	if len(chain) == 0 {
+		return grid.Path{}, nil, nil, fmt.Errorf("route: FlushPath with no targets")
+	}
+	orientations := [][]geom.Point{chain}
+	if len(chain) > 1 {
+		rev := make([]geom.Point, len(chain))
+		for i, p := range chain {
+			rev[len(chain)-1-i] = p
+		}
+		orientations = append(orientations, rev)
+	}
+	var best grid.Path
+	var bestFP, bestWP *grid.Port
+	for _, fp := range c.FlowPorts() {
+		for _, wp := range c.WastePorts() {
+			for _, ch := range orientations {
+				wps := make([]geom.Point, 0, len(ch)+2)
+				wps = append(wps, fp.At)
+				wps = append(wps, ch...)
+				wps = append(wps, wp.At)
+				p, err := Through(c, wps, o)
+				if err != nil {
+					continue
+				}
+				if p.ValidateComplete(c) != nil {
+					continue
+				}
+				if best.Empty() || p.Len() < best.Len() {
+					best, bestFP, bestWP = p, fp, wp
+				}
+			}
+		}
+	}
+	if best.Empty() {
+		return grid.Path{}, nil, nil, fmt.Errorf("%w: no complete flush path through %d targets", ErrNoPath, len(chain))
+	}
+	return best, bestFP, bestWP, nil
+}

@@ -1,0 +1,104 @@
+package route
+
+import (
+	"testing"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+func flushChip(t *testing.T) *grid.Chip {
+	t.Helper()
+	c := grid.NewChip("flush", 9, 7)
+	mustAdd(t, c, "in1", grid.FlowPort, geom.Pt(1, 0))
+	mustAdd(t, c, "in2", grid.FlowPort, geom.Pt(0, 5))
+	mustAdd(t, c, "out1", grid.WastePort, geom.Pt(8, 1))
+	mustAdd(t, c, "out2", grid.WastePort, geom.Pt(7, 6))
+	for y := 0; y < 7; y++ {
+		for x := 0; x < 9; x++ {
+			if err := c.AddChannel(geom.Pt(x, y)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+func TestFlushPathThroughChain(t *testing.T) {
+	c := flushChip(t)
+	chain := []geom.Point{geom.Pt(3, 3), geom.Pt(4, 3), geom.Pt(5, 3)}
+	p, fp, wp, err := FlushPath(c, chain, Options{AvoidPorts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateComplete(c); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Covers(chain) {
+		t.Fatal("chain not covered")
+	}
+	if fp == nil || wp == nil || fp.Kind != grid.FlowPort || wp.Kind != grid.WastePort {
+		t.Fatalf("ports = %v, %v", fp, wp)
+	}
+}
+
+func TestFlushPathSingleCell(t *testing.T) {
+	c := flushChip(t)
+	p, _, _, err := FlushPath(c, []geom.Point{geom.Pt(4, 4)}, Options{AvoidPorts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(geom.Pt(4, 4)) {
+		t.Fatal("single target missed")
+	}
+}
+
+func TestFlushPathPicksShortest(t *testing.T) {
+	c := flushChip(t)
+	// Target next to in1/out1 corner: shortest must use those ports.
+	chain := []geom.Point{geom.Pt(2, 1), geom.Pt(3, 1)}
+	p, fp, wp, err := FlushPath(c, chain, Options{AvoidPorts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.ID != "in1" || wp.ID != "out1" {
+		t.Errorf("ports = %s/%s want in1/out1 (len %d)", fp.ID, wp.ID, p.Len())
+	}
+}
+
+func TestFlushPathReversedChainStillWorks(t *testing.T) {
+	c := flushChip(t)
+	chain := []geom.Point{geom.Pt(5, 3), geom.Pt(4, 3), geom.Pt(3, 3)} // reversed
+	p, _, _, err := FlushPath(c, chain, Options{AvoidPorts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Covers(chain) {
+		t.Fatal("reversed chain not covered")
+	}
+}
+
+func TestFlushPathEmptyChainFails(t *testing.T) {
+	c := flushChip(t)
+	if _, _, _, err := FlushPath(c, nil, Options{}); err == nil {
+		t.Fatal("empty chain must fail")
+	}
+}
+
+func TestFlushPathUnreachableFails(t *testing.T) {
+	// Chip with the chain walled off from every port by blocked cells.
+	c := flushChip(t)
+	blocked := map[geom.Point]bool{}
+	for _, p := range []geom.Point{
+		geom.Pt(3, 2), geom.Pt(4, 2), geom.Pt(5, 2),
+		geom.Pt(2, 3), geom.Pt(6, 3),
+		geom.Pt(3, 4), geom.Pt(4, 4), geom.Pt(5, 4),
+	} {
+		blocked[p] = true
+	}
+	_, _, _, err := FlushPath(c, []geom.Point{geom.Pt(4, 3)},
+		Options{AvoidPorts: true, Blocked: blocked})
+	if err == nil {
+		t.Fatal("walled-off target must fail")
+	}
+}

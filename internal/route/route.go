@@ -1,0 +1,233 @@
+// Package route finds flow paths on a chip grid.
+//
+// Both the PathDriver-style synthesis substrate and the DAWO baseline
+// route with breadth-first search over the routable cells of the chip;
+// the PDW wash-path ILP uses the same graph structure but optimizes
+// globally (see internal/washpath). This package provides:
+//
+//   - ShortestPath: BFS shortest path between two cells, avoiding an
+//     optional blocked set;
+//   - Through: shortest simple path visiting an ordered chain of cells;
+//   - NearestPort: closest flow/waste port to a cell by routed distance;
+//   - Distances: single-source BFS distance map.
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+// ErrNoPath is returned when the requested route does not exist.
+var ErrNoPath = errors.New("route: no path")
+
+// Options tunes a routing query.
+type Options struct {
+	// Blocked cells may not be used (in addition to non-routable cells).
+	// Endpoints may appear in Blocked; they are always allowed.
+	Blocked map[geom.Point]bool
+	// AvoidPorts makes intermediate port cells unusable, so routes only
+	// touch ports at their endpoints. Injection and removal paths must
+	// not flush through an unrelated port.
+	AvoidPorts bool
+	// AvoidDevices makes intermediate device cells unusable. Wash buffer
+	// must not flush through a device holding a fluid unless that device
+	// is itself a wash target.
+	AvoidDevices map[geom.Point]bool
+}
+
+func usable(c *grid.Chip, p geom.Point, o Options, isEndpoint bool) bool {
+	if !c.InBounds(p) || !c.Routable(p) {
+		return false
+	}
+	if isEndpoint {
+		return true
+	}
+	if o.Blocked != nil && o.Blocked[p] {
+		return false
+	}
+	if o.AvoidPorts && c.PortAt(p) != nil {
+		return false
+	}
+	if o.AvoidDevices != nil && o.AvoidDevices[p] {
+		return false
+	}
+	return true
+}
+
+// ShortestPath returns a BFS shortest path from src to dst over routable
+// cells subject to the options. The result includes both endpoints.
+func ShortestPath(c *grid.Chip, src, dst geom.Point, o Options) (grid.Path, error) {
+	if !c.InBounds(src) || !c.Routable(src) {
+		return grid.Path{}, fmt.Errorf("route: source %v is not routable", src)
+	}
+	if !c.InBounds(dst) || !c.Routable(dst) {
+		return grid.Path{}, fmt.Errorf("route: destination %v is not routable", dst)
+	}
+	if src == dst {
+		return grid.NewPath(src), nil
+	}
+	prev := map[geom.Point]geom.Point{src: src}
+	queue := []geom.Point{src}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, n := range p.Neighbors() {
+			if _, seen := prev[n]; seen {
+				continue
+			}
+			if !usable(c, n, o, n == dst) {
+				continue
+			}
+			prev[n] = p
+			if n == dst {
+				return reconstruct(prev, src, dst), nil
+			}
+			queue = append(queue, n)
+		}
+	}
+	return grid.Path{}, fmt.Errorf("%w from %v to %v", ErrNoPath, src, dst)
+}
+
+func reconstruct(prev map[geom.Point]geom.Point, src, dst geom.Point) grid.Path {
+	var rev []geom.Point
+	for p := dst; ; p = prev[p] {
+		rev = append(rev, p)
+		if p == src {
+			break
+		}
+	}
+	cells := make([]geom.Point, len(rev))
+	for i, p := range rev {
+		cells[len(rev)-1-i] = p
+	}
+	return grid.NewPath(cells...)
+}
+
+// Through routes a simple path visiting the waypoints in order. Each leg
+// is a BFS shortest path that additionally avoids the cells already used
+// by earlier legs, keeping the overall path simple. Returns ErrNoPath if
+// any leg cannot be completed without revisiting.
+func Through(c *grid.Chip, waypoints []geom.Point, o Options) (grid.Path, error) {
+	if len(waypoints) < 2 {
+		return grid.Path{}, errors.New("route: Through needs at least two waypoints")
+	}
+	total := grid.NewPath(waypoints[0])
+	used := map[geom.Point]bool{}
+	for i := 0; i+1 < len(waypoints); i++ {
+		legOpts := o
+		legOpts.Blocked = mergeBlocked(o.Blocked, used)
+		// Future waypoints must be visited by their own legs; routing
+		// through one now would make its leg revisit a used cell.
+		for j := i + 2; j < len(waypoints); j++ {
+			legOpts.Blocked[waypoints[j]] = true
+		}
+		// The current position must stay usable as the leg source.
+		delete(legOpts.Blocked, waypoints[i])
+		leg, err := ShortestPath(c, waypoints[i], waypoints[i+1], legOpts)
+		if err != nil {
+			return grid.Path{}, fmt.Errorf("route: leg %d (%v to %v): %w", i, waypoints[i], waypoints[i+1], err)
+		}
+		for _, cell := range leg.Cells {
+			used[cell] = true
+		}
+		total = total.Concat(leg)
+	}
+	if err := total.Validate(c); err != nil {
+		return grid.Path{}, fmt.Errorf("route: Through produced invalid path: %w", err)
+	}
+	return total, nil
+}
+
+func mergeBlocked(a, b map[geom.Point]bool) map[geom.Point]bool {
+	m := make(map[geom.Point]bool, len(a)+len(b))
+	for p := range a {
+		m[p] = true
+	}
+	for p := range b {
+		m[p] = true
+	}
+	return m
+}
+
+// Distances returns the BFS hop distance from src to every reachable
+// routable cell, subject to the options. src has distance 0.
+func Distances(c *grid.Chip, src geom.Point, o Options) map[geom.Point]int {
+	dist := map[geom.Point]int{src: 0}
+	queue := []geom.Point{src}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, n := range p.Neighbors() {
+			if _, seen := dist[n]; seen {
+				continue
+			}
+			// Every reached cell may be an endpoint of some later query,
+			// so ports/devices terminate expansion but still get a distance.
+			if !c.InBounds(n) || !c.Routable(n) {
+				continue
+			}
+			if o.Blocked != nil && o.Blocked[n] {
+				continue
+			}
+			dist[n] = dist[p] + 1
+			if o.AvoidPorts && c.PortAt(n) != nil {
+				continue // reachable as endpoint, not traversable
+			}
+			if o.AvoidDevices != nil && o.AvoidDevices[n] {
+				continue
+			}
+			queue = append(queue, n)
+		}
+	}
+	return dist
+}
+
+// NearestPort returns the port of the given kind closest to from by
+// routed hop distance, together with the path to it. Ports that cannot
+// be reached are skipped; ErrNoPath if none is reachable.
+func NearestPort(c *grid.Chip, from geom.Point, kind grid.PortKind, o Options) (*grid.Port, grid.Path, error) {
+	dist := Distances(c, from, o)
+	var best *grid.Port
+	bestD := -1
+	for _, pt := range c.Ports() {
+		if pt.Kind != kind {
+			continue
+		}
+		d, ok := dist[pt.At]
+		if !ok {
+			continue
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = pt, d
+		}
+	}
+	if best == nil {
+		return nil, grid.Path{}, fmt.Errorf("%w: no reachable %s port from %v", ErrNoPath, kind, from)
+	}
+	p, err := ShortestPath(c, from, best.At, o)
+	if err != nil {
+		return nil, grid.Path{}, err
+	}
+	return best, p, nil
+}
+
+// PortToPort routes a complete path from a flow port through the ordered
+// waypoints to a waste port: the canonical [flow port — cells — waste
+// port] shape of injections, removals, and heuristic wash paths.
+func PortToPort(c *grid.Chip, fp, wp *grid.Port, via []geom.Point, o Options) (grid.Path, error) {
+	wps := make([]geom.Point, 0, len(via)+2)
+	wps = append(wps, fp.At)
+	wps = append(wps, via...)
+	wps = append(wps, wp.At)
+	p, err := Through(c, wps, o)
+	if err != nil {
+		return grid.Path{}, err
+	}
+	if err := p.ValidateComplete(c); err != nil {
+		return grid.Path{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"testing"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+func TestPlacerSerializesPathConflicts(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	t1 := &Task{ID: "t1", Kind: Transport, Path: row(0, 5), Fluid: "f"}
+	t2 := &Task{ID: "t2", Kind: Transport, Path: row(3, 9), Fluid: "g"}
+	if _, err := pl.Place(t1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	start, err := pl.Place(t2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start < t1.End {
+		t.Fatalf("overlapping-path task placed at %d before %d", start, t1.End)
+	}
+}
+
+func TestPlacerAllowsDisjointPaths(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	t1 := &Task{ID: "t1", Kind: Transport, Path: row(0, 2), Fluid: "f"}
+	t2 := &Task{ID: "t2", Kind: Transport, Path: row(8, 9), Fluid: "g"}
+	if _, err := pl.Place(t1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	start, err := pl.Place(t2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("disjoint task delayed to %d", start)
+	}
+}
+
+func TestPlacerSerializesDevice(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	mixer := c.Device("mixer")
+	o1 := &Task{ID: "a", Kind: Operation, OpID: "o1", Device: mixer}
+	o2 := &Task{ID: "b", Kind: Operation, OpID: "o1", Device: mixer}
+	if _, err := pl.Place(o1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	start, err := pl.Place(o2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start < 4 {
+		t.Fatalf("same-device op placed at %d during [0,4)", start)
+	}
+}
+
+func TestPlacerRespectsReady(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	task := &Task{ID: "t", Kind: Transport, Path: row(0, 2), Fluid: "f"}
+	start, err := pl.Place(task, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 7 {
+		t.Fatalf("start = %d want 7", start)
+	}
+	// Negative ready clamps to zero.
+	task2 := &Task{ID: "t2", Kind: Transport, Path: row(8, 9), Fluid: "f"}
+	if start, err := pl.Place(task2, -5, 1); err != nil || start != 0 {
+		t.Fatalf("start = %d, %v", start, err)
+	}
+}
+
+func TestPlacerFluidVsBusyDevice(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	mixer := c.Device("mixer")
+	op := &Task{ID: "op", Kind: Operation, OpID: "o1", Device: mixer}
+	if _, err := pl.Place(op, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Path crossing the mixer cells must wait for the op.
+	through := grid.NewPath(geom.Pt(2, 2), geom.Pt(3, 2), geom.Pt(4, 2))
+	cross := &Task{ID: "x", Kind: Transport, Path: through, Fluid: "f"}
+	start, err := pl.Place(cross, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start < 5 {
+		t.Fatalf("flush through busy device at %d", start)
+	}
+}
+
+func TestPlacerIgnoresInactiveTasks(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	s.MustAdd(&Task{ID: "ghost", Kind: Removal, Integrated: true,
+		IntegratedInto: "w", Path: row(0, 9), Start: 0, End: 10})
+	pl := NewPlacer(s)
+	task := &Task{ID: "t", Kind: Transport, Path: row(0, 9), Fluid: "f"}
+	start, err := pl.Place(task, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("integrated removal blocked placement: start %d", start)
+	}
+}
+
+func TestConflictCapableMatrix(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	pl := NewPlacer(s)
+	mixer, heater := c.Device("mixer"), c.Device("heater")
+	opM := &Task{ID: "om", Kind: Operation, Device: mixer}
+	opH := &Task{ID: "oh", Kind: Operation, Device: heater}
+	flA := &Task{ID: "fa", Kind: Transport, Path: row(0, 5)}
+	flB := &Task{ID: "fb", Kind: Wash, Path: row(3, 9)}
+	flC := &Task{ID: "fc", Kind: Removal, Path: row(0, 1)}
+	if pl.ConflictCapable(opM, opH) {
+		t.Error("different devices never conflict")
+	}
+	if !pl.ConflictCapable(opM, opM) {
+		t.Error("same device conflicts")
+	}
+	if !pl.ConflictCapable(flA, flB) {
+		t.Error("overlapping paths conflict")
+	}
+	if pl.ConflictCapable(flB, flC) {
+		t.Error("disjoint paths do not conflict")
+	}
+	if !pl.ConflictCapable(flA, opM) {
+		t.Error("path crossing mixer conflicts with mixer op")
+	}
+	if pl.ConflictCapable(flC, opM) {
+		t.Error("path far from mixer does not conflict")
+	}
+}

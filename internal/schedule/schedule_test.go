@@ -1,0 +1,387 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+// fixture builds a 10x5 chip with a mixer and a heater on a spine
+// channel, plus a two-op assay (mix -> heat) and a hand-made schedule:
+//
+//	in1 - - M M - - H H out1   (row 2)
+func fixture(t *testing.T) (*grid.Chip, *assay.Assay) {
+	t.Helper()
+	c := grid.NewChip("fx", 10, 5)
+	if _, err := c.AddPort("in1", grid.FlowPort, geom.Pt(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddPort("out1", grid.WastePort, geom.Pt(9, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddDevice("mixer", grid.Mixer, geom.Rc(3, 2, 5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddDevice("heater", grid.Heater, geom.Rc(6, 2, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x < 9; x++ {
+		if err := c.AddChannel(geom.Pt(x, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := assay.New("fx")
+	a.MustAddOp(&assay.Operation{ID: "o1", Kind: assay.Mix, Duration: 3, Output: "f1", Reagents: []assay.FluidType{"r1"}})
+	a.MustAddOp(&assay.Operation{ID: "o2", Kind: assay.Heat, Duration: 2, Output: "f2"})
+	a.MustAddEdge("o1", "o2")
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c, a
+}
+
+func row(x0, x1 int) grid.Path {
+	var cells []geom.Point
+	if x0 <= x1 {
+		for x := x0; x <= x1; x++ {
+			cells = append(cells, geom.Pt(x, 2))
+		}
+	} else {
+		for x := x0; x >= x1; x-- {
+			cells = append(cells, geom.Pt(x, 2))
+		}
+	}
+	return grid.NewPath(cells...)
+}
+
+// goodSchedule builds a valid execution procedure for the fixture.
+func goodSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	c, a := fixture(t)
+	s := New(c, a)
+	mixer, heater := c.Device("mixer"), c.Device("heater")
+	add := func(task *Task) {
+		t.Helper()
+		if err := s.Add(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// inject r1 into mixer (1s), run o1 (3s), move product to heater (1s),
+	// run o2 (2s).
+	add(&Task{ID: "inj-r1", Kind: Transport, Start: 0, End: 1, MinDuration: 1,
+		Path: row(0, 4), Fluid: "r1", EdgeTo: "o1"})
+	add(&Task{ID: "op-o1", Kind: Operation, Start: 1, End: 4, MinDuration: 3,
+		OpID: "o1", Device: mixer})
+	add(&Task{ID: "tr-o1-o2", Kind: Transport, Start: 4, End: 5, MinDuration: 1,
+		Path: row(3, 7), Fluid: "f1", EdgeFrom: "o1", EdgeTo: "o2"})
+	add(&Task{ID: "rm-o1-o2", Kind: Removal, Start: 5, End: 6, MinDuration: 1,
+		Path: row(0, 5), Fluid: "f1", EdgeFrom: "o1", EdgeTo: "o2"})
+	add(&Task{ID: "op-o2", Kind: Operation, Start: 6, End: 8, MinDuration: 2,
+		OpID: "o2", Device: heater})
+	add(&Task{ID: "disp-o2", Kind: WasteDisposal, Start: 8, End: 9, MinDuration: 1,
+		Path: row(6, 9), Fluid: assay.Waste, EdgeFrom: "o2"})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("good schedule invalid: %v", err)
+	}
+	return s
+}
+
+func TestTaskBasics(t *testing.T) {
+	task := &Task{ID: "t", Kind: Wash, Start: 2, End: 5}
+	if task.Duration() != 3 {
+		t.Error("duration")
+	}
+	u := &Task{ID: "u", Start: 4, End: 6}
+	if !task.Overlaps(u) || !u.Overlaps(task) {
+		t.Error("overlap expected")
+	}
+	v := &Task{ID: "v", Start: 5, End: 6}
+	if task.Overlaps(v) {
+		t.Error("touching windows do not overlap")
+	}
+	if task.String() != "t[wash 2-5]" {
+		t.Errorf("String = %q", task.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[TaskKind]string{
+		Operation: "op", Transport: "transport", Removal: "removal",
+		WasteDisposal: "waste", Wash: "wash",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v != %s", k, s)
+		}
+	}
+	if Operation.Fluidic() {
+		t.Error("operations are not fluidic")
+	}
+	if !Wash.Fluidic() || !Removal.Fluidic() {
+		t.Error("wash/removal are fluidic")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c, a := fixture(t)
+	s := New(c, a)
+	if err := s.Add(&Task{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Task{ID: "x"}); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	if err := s.Add(&Task{}); err == nil {
+		t.Fatal("empty ID must fail")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := goodSchedule(t)
+	if s.Task("op-o1") == nil || s.Task("nope") != nil {
+		t.Error("Task lookup")
+	}
+	if s.OpTask("o2") == nil || s.OpTask("o9") != nil {
+		t.Error("OpTask lookup")
+	}
+	if tr := s.TransportFor("o1", "o2"); tr == nil || tr.ID != "tr-o1-o2" {
+		t.Error("TransportFor")
+	}
+	if inj := s.TransportFor("", "o1"); inj == nil || inj.ID != "inj-r1" {
+		t.Error("injection lookup")
+	}
+	if rm := s.RemovalFor("o1", "o2"); rm == nil || rm.ID != "rm-o1-o2" {
+		t.Error("RemovalFor")
+	}
+	if len(s.TasksOf(Operation)) != 2 {
+		t.Error("TasksOf")
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	s := goodSchedule(t)
+	if s.Makespan() != 9 {
+		t.Errorf("Makespan = %d want 9", s.Makespan())
+	}
+	if s.OperationMakespan() != 8 {
+		t.Errorf("OperationMakespan = %d want 8", s.OperationMakespan())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := goodSchedule(t)
+	c := s.Clone()
+	if len(c.Tasks()) != len(s.Tasks()) {
+		t.Fatal("clone size")
+	}
+	c.Task("op-o1").Start = 99
+	if s.Task("op-o1").Start == 99 {
+		t.Fatal("clone shares task memory")
+	}
+	c.Task("inj-r1").Path.Cells[0] = geom.Pt(8, 8)
+	if s.Task("inj-r1").Path.Cells[0] == geom.Pt(8, 8) {
+		t.Fatal("clone shares path memory")
+	}
+}
+
+func TestValidateCatchesShortOp(t *testing.T) {
+	s := goodSchedule(t)
+	s.Task("op-o1").End = 2 // only 1s, needs 3 (Eq. 1)
+	if err := s.Validate(); err == nil {
+		t.Fatal("short operation must fail")
+	}
+}
+
+func TestValidateCatchesPrecedenceViolation(t *testing.T) {
+	s := goodSchedule(t)
+	s.Task("tr-o1-o2").Start = 3 // producer ends at 4 (Eq. 4)
+	s.Task("tr-o1-o2").End = 4
+	if err := s.Validate(); err == nil {
+		t.Fatal("transport before producer end must fail")
+	}
+}
+
+func TestValidateCatchesLateTransport(t *testing.T) {
+	s := goodSchedule(t)
+	s.Task("tr-o1-o2").Start = 6
+	s.Task("tr-o1-o2").End = 7 // consumer starts at 6
+	if err := s.Validate(); err == nil {
+		t.Fatal("transport after consumer start must fail")
+	}
+}
+
+func TestValidateCatchesRemovalBeforeTransport(t *testing.T) {
+	s := goodSchedule(t)
+	s.Task("rm-o1-o2").Start = 4
+	s.Task("rm-o1-o2").End = 5 // transport ends at 5 (Eq. 5)
+	// also creates a path conflict; move transport path away is not
+	// possible here, so just check Validate fails.
+	if err := s.Validate(); err == nil {
+		t.Fatal("removal before its transport must fail")
+	}
+}
+
+func TestValidateCatchesDeviceConflict(t *testing.T) {
+	c, _ := fixture(t)
+	// Second mix op on the same mixer, overlapping in time.
+	a2 := assay.New("fx2")
+	a2.MustAddOp(&assay.Operation{ID: "o1", Kind: assay.Mix, Duration: 2, Output: "f1", Reagents: []assay.FluidType{"r1"}})
+	a2.MustAddOp(&assay.Operation{ID: "o2", Kind: assay.Mix, Duration: 2, Output: "f2", Reagents: []assay.FluidType{"r2"}})
+	s := New(c, a2)
+	mixer := c.Device("mixer")
+	s.MustAdd(&Task{ID: "op-o1", Kind: Operation, Start: 0, End: 2, OpID: "o1", Device: mixer})
+	s.MustAdd(&Task{ID: "op-o2", Kind: Operation, Start: 1, End: 3, OpID: "o2", Device: mixer})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Eq. 3") {
+		t.Fatalf("device conflict not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesPathConflict(t *testing.T) {
+	s := goodSchedule(t)
+	// Shift removal into the transport's window: both use cells near mixer.
+	rm := s.Task("rm-o1-o2")
+	tr := s.Task("tr-o1-o2")
+	rm.Start, rm.End = tr.Start, tr.End
+	if err := s.Validate(); err == nil {
+		t.Fatal("overlapping fluidic tasks on shared cells must fail")
+	}
+}
+
+func TestValidateCatchesFlushThroughBusyDevice(t *testing.T) {
+	s := goodSchedule(t)
+	// A disposal crossing the heater while o2 runs on it.
+	s.MustAdd(&Task{ID: "bad", Kind: WasteDisposal, Start: 6, End: 7, MinDuration: 1,
+		Path: row(5, 9), Fluid: assay.Waste})
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("flush through busy device must fail")
+	}
+}
+
+// devRowTargets are the device cells a row-2 wash path crosses on the
+// fixture chip; a wash through them must declare them as targets.
+var devRowTargets = []geom.Point{
+	geom.Pt(3, 2), geom.Pt(4, 2), geom.Pt(6, 2), geom.Pt(7, 2),
+}
+
+func TestValidateWashRequirements(t *testing.T) {
+	s := goodSchedule(t)
+	// A wash covering cells (1,2)-(2,2) after removal, before nothing.
+	w := &Task{ID: "w1", Kind: Wash, Start: 9, End: 11, MinDuration: 2,
+		Path: row(0, 9), Fluid: "buffer",
+		WashTargets: append([]geom.Point{geom.Pt(1, 2), geom.Pt(2, 2)}, devRowTargets...)}
+	s.MustAdd(w)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid wash rejected: %v", err)
+	}
+	// Wash missing a target must fail.
+	w.WashTargets = append(w.WashTargets, geom.Pt(5, 1))
+	if err := s.Validate(); err == nil {
+		t.Fatal("wash missing target must fail")
+	}
+	w.WashTargets = w.WashTargets[:len(w.WashTargets)-1]
+	// Wash not ending at a waste port must fail.
+	w.Path = row(0, 8)
+	if err := s.Validate(); err == nil {
+		t.Fatal("incomplete wash path must fail")
+	}
+}
+
+func TestIntegratedRemoval(t *testing.T) {
+	s := goodSchedule(t)
+	rm := s.Task("rm-o1-o2")
+	w := &Task{ID: "w1", Kind: Wash, Start: 5, End: 6, MinDuration: 1,
+		Path: row(0, 9), Fluid: "buffer", WashTargets: devRowTargets}
+	s.MustAdd(w)
+	rm.Integrated = true
+	rm.IntegratedInto = "w1"
+	// The wash window [5,6) sits after transport end (5): valid, and the
+	// removal path row(0,5) is covered by row(0,9).
+	// But wash overlaps nothing else; op-o2 is an operation so no fluid
+	// conflict. Note wash passes through heater cells while o2 runs at
+	// [6,8) — windows [5,6) and [6,8) do not overlap.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("integrated removal schedule invalid: %v", err)
+	}
+	if !rm.Active() == false {
+		_ = rm
+	}
+	if rm.Active() {
+		t.Fatal("integrated removal must be inactive")
+	}
+	// Integration into a non-existent wash must fail.
+	rm.IntegratedInto = "w9"
+	if err := s.Validate(); err == nil {
+		t.Fatal("dangling integration must fail")
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	base := goodSchedule(t)
+	s := base.Clone()
+	// Add a wash and delay o2 by 1s.
+	w := &Task{ID: "w1", Kind: Wash, Start: 6, End: 8, MinDuration: 2,
+		Path: row(0, 9), Fluid: "buffer", WashTargets: devRowTargets}
+	s.MustAdd(w)
+	o2 := s.Task("op-o2")
+	o2.Start, o2.End = 8, 10
+	d := s.Task("disp-o2")
+	d.Start, d.End = 10, 11
+	if err := s.Validate(); err != nil {
+		t.Fatalf("modified schedule invalid: %v", err)
+	}
+	m := s.ComputeMetrics(base)
+	if m.NWash != 1 {
+		t.Errorf("NWash = %d", m.NWash)
+	}
+	if m.LWashMM != 10 { // 10 cells at 1mm
+		t.Errorf("LWash = %g", m.LWashMM)
+	}
+	if m.TAssay != 11 || m.TDelay != 2 {
+		t.Errorf("TAssay=%d TDelay=%d", m.TAssay, m.TDelay)
+	}
+	if m.TotalWashSeconds != 2 {
+		t.Errorf("TotalWashSeconds = %d", m.TotalWashSeconds)
+	}
+	// o1 waits 0, o2 waits 2 -> avg 1.
+	if m.AvgWaitSeconds != 1 {
+		t.Errorf("AvgWait = %g", m.AvgWaitSeconds)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := goodSchedule(t)
+	g := s.Gantt()
+	if !strings.Contains(g, "op-o1") || !strings.Contains(g, "OOO") {
+		t.Errorf("gantt missing op row:\n%s", g)
+	}
+	if !strings.Contains(g, ">") || !strings.Contains(g, "$") {
+		t.Errorf("gantt missing markers:\n%s", g)
+	}
+}
+
+func TestSortedByStart(t *testing.T) {
+	s := goodSchedule(t)
+	ts := s.SortedByStart()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Start > ts[i].Start {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestValidateNegativeWindow(t *testing.T) {
+	s := goodSchedule(t)
+	s.Task("inj-r1").Start = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative start must fail")
+	}
+}

@@ -1,0 +1,79 @@
+// Package scheduleio serializes execution procedures as JSON so
+// optimized schedules can be consumed by external visualizers or chip
+// controllers. The encoding is lossless for everything a downstream
+// tool needs: task kinds, time windows, flow paths as cell lists, wash
+// targets, and ψ-integration links.
+package scheduleio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pathdriverwash/internal/schedule"
+)
+
+// Document is the JSON shape of a schedule.
+type Document struct {
+	Chip     ChipInfo   `json:"chip"`
+	Makespan int        `json:"makespan_s"`
+	Tasks    []TaskInfo `json:"tasks"`
+}
+
+// ChipInfo summarizes the chip a schedule runs on.
+type ChipInfo struct {
+	Name            string  `json:"name"`
+	Width           int     `json:"width"`
+	Height          int     `json:"height"`
+	CellLengthMM    float64 `json:"cell_length_mm"`
+	FlowVelocityMMs float64 `json:"flow_velocity_mm_s"`
+}
+
+// TaskInfo is one schedule entry.
+type TaskInfo struct {
+	ID             string   `json:"id"`
+	Kind           string   `json:"kind"`
+	Start          int      `json:"start_s"`
+	End            int      `json:"end_s"`
+	Fluid          string   `json:"fluid,omitempty"`
+	Op             string   `json:"op,omitempty"`
+	Device         string   `json:"device,omitempty"`
+	Path           [][2]int `json:"path,omitempty"`
+	WashTargets    [][2]int `json:"wash_targets,omitempty"`
+	Integrated     bool     `json:"integrated,omitempty"`
+	IntegratedInto string   `json:"integrated_into,omitempty"`
+}
+
+// Encode writes the schedule as indented JSON.
+func Encode(w io.Writer, s *schedule.Schedule) error {
+	doc := Document{
+		Chip: ChipInfo{
+			Name: s.Chip.Name, Width: s.Chip.W, Height: s.Chip.H,
+			CellLengthMM: s.Chip.CellLengthMM, FlowVelocityMMs: s.Chip.FlowVelocityMMs,
+		},
+		Makespan: s.Makespan(),
+	}
+	for _, t := range s.SortedByStart() {
+		ti := TaskInfo{
+			ID: t.ID, Kind: t.Kind.String(), Start: t.Start, End: t.End,
+			Fluid: string(t.Fluid), Op: t.OpID,
+			Integrated: t.Integrated, IntegratedInto: t.IntegratedInto,
+		}
+		if t.Device != nil {
+			ti.Device = t.Device.ID
+		}
+		for _, c := range t.Path.Cells {
+			ti.Path = append(ti.Path, [2]int{c.X, c.Y})
+		}
+		for _, c := range t.WashTargets {
+			ti.WashTargets = append(ti.WashTargets, [2]int{c.X, c.Y})
+		}
+		doc.Tasks = append(doc.Tasks, ti)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("scheduleio: %w", err)
+	}
+	return nil
+}

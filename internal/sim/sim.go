@@ -1,0 +1,318 @@
+// Package sim is a discrete-event executor for assay schedules: it
+// replays an execution procedure second by second, maintaining the
+// physical state the schedule implies — which fluid every cell and
+// device holds, what residue is left behind, which cells a running task
+// occupies — and flags any physical impossibility the static validators
+// might express differently:
+//
+//   - two concurrent tasks occupying one cell;
+//   - an operation starting before its inputs arrived in the device;
+//   - an operation's product leaving before the operation finished;
+//   - a sensitive fluid plug crossing foreign residue (contamination);
+//   - a wash flushing a device that still holds product.
+//
+// It is intentionally independent of schedule.Validate and
+// contam.Verify: the simulator derives everything from task windows and
+// paths alone, so agreement between all three oracles is strong
+// evidence the optimizers emit physically executable procedures.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/schedule"
+)
+
+// Class categorizes a violation.
+type Class int
+
+// Violation classes.
+const (
+	// Contamination: a sensitive plug crossed foreign residue — the
+	// defect washing exists to prevent. Optimizer outputs must have none.
+	Contamination Class = iota
+	// Occupancy: two concurrent tasks on one cell. Must never happen.
+	Occupancy
+	// Ordering: a task ran before its data dependency completed. Must
+	// never happen.
+	Ordering
+	// Holding: fluid sitting in a device was disturbed (flushed by a
+	// wash, collided with an unrelated arrival, or missing at pickup).
+	// The paper's constraint set (Eq. 3 covers operation execution
+	// windows only) does not model the holding interval, so these can
+	// occur on schedules that satisfy every Sec. III constraint; see
+	// DESIGN.md's holding-hazard note.
+	Holding
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Contamination:
+		return "contamination"
+	case Occupancy:
+		return "occupancy"
+	case Ordering:
+		return "ordering"
+	case Holding:
+		return "holding"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Violation describes one physical impossibility found during replay.
+type Violation struct {
+	Time   int
+	TaskID string
+	Class  Class
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%d %s [%s]: %s", v.Time, v.TaskID, v.Class, v.Reason)
+}
+
+// Report is the outcome of a simulation run.
+type Report struct {
+	Violations []Violation
+	// Steps is the number of simulated seconds.
+	Steps int
+	// DeviceContents maps device IDs to the fluid left inside at the end.
+	DeviceContents map[string]assay.FluidType
+}
+
+// Clean reports whether the replay found no violations at all.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// ByClass returns the violations of one class.
+func (r *Report) ByClass(c Class) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Class == c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CleanExceptHolding reports whether only holding hazards remain — the
+// strongest guarantee the paper's constraint set can deliver.
+func (r *Report) CleanExceptHolding() bool {
+	return len(r.Violations) == len(r.ByClass(Holding))
+}
+
+// state is the physical chip state during replay.
+type state struct {
+	chip *grid.Chip
+	// residue per cell (empty string: clean).
+	residue map[geom.Point]assay.FluidType
+	// occupancy per cell: ID of the task holding it this second.
+	occupied map[geom.Point]string
+	// device contents (product waiting inside).
+	contents map[*grid.Device]assay.FluidType
+}
+
+// Run replays the schedule and reports violations. The zero horizon is
+// taken from the schedule's makespan.
+func Run(s *schedule.Schedule) *Report {
+	rep := &Report{DeviceContents: map[string]assay.FluidType{}}
+	st := &state{
+		chip:     s.Chip,
+		residue:  map[geom.Point]assay.FluidType{},
+		contents: map[*grid.Device]assay.FluidType{},
+	}
+	horizon := s.Makespan()
+	rep.Steps = horizon
+
+	tasks := s.SortedByStart()
+	flag := func(t int, id string, class Class, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Time: t, TaskID: id, Class: class, Reason: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for now := 0; now <= horizon; now++ {
+		// Occupancy for this second.
+		st.occupied = map[geom.Point]string{}
+		for _, t := range tasks {
+			if !t.Active() || !t.Kind.Fluidic() {
+				continue
+			}
+			if t.Start <= now && now < t.End {
+				for _, c := range t.Path.Cells {
+					if prev, busy := st.occupied[c]; busy {
+						flag(now, t.ID, Occupancy, "cell %v already occupied by %s", c, prev)
+					} else {
+						st.occupied[c] = t.ID
+					}
+				}
+			}
+		}
+		// Operations occupy their devices.
+		for _, t := range tasks {
+			if t.Kind != schedule.Operation || !(t.Start <= now && now < t.End) {
+				continue
+			}
+			for _, c := range t.Device.Cells() {
+				if prev, busy := st.occupied[c]; busy {
+					flag(now, t.ID, Occupancy, "device cell %v flushed by %s during execution", c, prev)
+				} else {
+					st.occupied[c] = t.ID
+				}
+			}
+		}
+
+		// Windows are half-open: a task ending at `now` no longer runs
+		// this second, so its effects land before same-second starts.
+		// Integrated removals (ψ=1) never execute: their wash does the
+		// flushing, so they have no physical effects to replay.
+		for _, t := range tasks {
+			if t.End != now || !t.Active() {
+				continue
+			}
+			st.onEnd(t, s, flag)
+		}
+		for _, t := range tasks {
+			if t.Start != now || !t.Active() {
+				continue
+			}
+			st.onStart(t, s, flag)
+		}
+	}
+	for d, f := range st.contents {
+		rep.DeviceContents[d.ID] = f
+	}
+	sort.Slice(rep.Violations, func(i, j int) bool {
+		if rep.Violations[i].Time != rep.Violations[j].Time {
+			return rep.Violations[i].Time < rep.Violations[j].Time
+		}
+		return rep.Violations[i].TaskID < rep.Violations[j].TaskID
+	})
+	return rep
+}
+
+// onStart checks the preconditions of a task when it begins.
+func (st *state) onStart(t *schedule.Task, s *schedule.Schedule, flag func(int, string, Class, string, ...any)) {
+	switch t.Kind {
+	case schedule.Operation:
+		// The op's device must hold fluid delivered by its transports;
+		// we assert the transports completed (their end deposits into
+		// the device below).
+		for _, u := range s.Tasks() {
+			if u.Kind == schedule.Transport && u.EdgeTo == t.OpID && u.End > t.Start {
+				flag(t.Start, t.ID, Ordering, "input %s has not arrived (ends %d)", u.ID, u.End)
+			}
+		}
+	case schedule.Transport:
+		if t.EdgeFrom != "" {
+			// The producing op must be finished.
+			if prod := s.OpTask(t.EdgeFrom); prod != nil && prod.End > t.Start {
+				flag(t.Start, t.ID, Ordering, "producer %s still running", prod.ID)
+			}
+			// The source device must hold the product.
+			if src := s.OpTask(t.EdgeFrom); src != nil {
+				if held, ok := st.contents[src.Device]; !ok {
+					flag(t.Start, t.ID, Holding, "source device %s is empty", src.Device.ID)
+				} else if held != t.Fluid {
+					flag(t.Start, t.ID, Holding, "source device %s holds %s, expected %s",
+						src.Device.ID, held, t.Fluid)
+				}
+			}
+		}
+		// The plug must not cross foreign residue it is sensitive to
+		// (residue of the destination op's other inputs is harmless —
+		// they are about to be mixed anyway).
+		tol := tolerated(s.Assay, t)
+		for _, c := range t.SensitiveCells {
+			if res, dirty := st.residue[c]; dirty && !tol[res] {
+				flag(t.Start, t.ID, Contamination, "plug crosses %s residue at %v", res, c)
+			}
+		}
+	case schedule.Wash:
+		// Washing a device that still holds product destroys the assay.
+		seen := map[*grid.Device]bool{}
+		for _, c := range t.Path.Cells {
+			d := st.chip.DeviceAt(c)
+			if d == nil || seen[d] {
+				continue
+			}
+			seen[d] = true
+			if f, full := st.contents[d]; full {
+				flag(t.Start, t.ID, Holding, "flushes device %s holding %s", d.ID, f)
+			}
+		}
+	}
+}
+
+// onEnd applies the physical effects of a finished task.
+func (st *state) onEnd(t *schedule.Task, s *schedule.Schedule, flag func(int, string, Class, string, ...any)) {
+	switch t.Kind {
+	case schedule.Operation:
+		// Inputs are consumed into the product, which stays in the device.
+		dev := t.Device
+		st.contents[dev] = t.Fluid
+	case schedule.Transport:
+		// Deposit contamination.
+		for _, c := range t.ContamCells {
+			st.residue[c] = t.Fluid
+		}
+		// Move the plug: source device emptied, destination filled.
+		if t.EdgeFrom != "" {
+			if src := s.OpTask(t.EdgeFrom); src != nil {
+				delete(st.contents, src.Device)
+			}
+		}
+		// Destination device receives the fluid. A collision with fluid
+		// that is NOT an input of the same consumer is a physical error
+		// (two unrelated products mixed in one device).
+		if t.EdgeTo != "" {
+			if dst := s.OpTask(t.EdgeTo); dst != nil {
+				if held, full := st.contents[dst.Device]; full {
+					if tol := tolerated(s.Assay, t); !tol[held] {
+						flag(t.End, t.ID, Holding, "deposits %s into device %s already holding unrelated %s",
+							t.Fluid, dst.Device.ID, held)
+					}
+				}
+				st.contents[dst.Device] = t.Fluid
+			}
+		}
+	case schedule.Removal, schedule.WasteDisposal:
+		for _, c := range t.ContamCells {
+			st.residue[c] = t.Fluid
+		}
+		if t.Kind == schedule.WasteDisposal && t.EdgeFrom != "" {
+			if src := s.OpTask(t.EdgeFrom); src != nil {
+				delete(st.contents, src.Device)
+			}
+		}
+	case schedule.Wash:
+		for _, c := range t.Path.Cells {
+			delete(st.residue, c)
+		}
+	}
+}
+
+// tolerated mirrors the contamination tolerance: inputs of the
+// destination op are harmless to a transport's plug.
+func tolerated(a *assay.Assay, t *schedule.Task) map[assay.FluidType]bool {
+	tol := map[assay.FluidType]bool{t.Fluid: true}
+	if a == nil || t.EdgeTo == "" {
+		return tol
+	}
+	if op := a.Op(t.EdgeTo); op != nil {
+		tol[op.Output] = true
+		for _, r := range op.Reagents {
+			tol[r] = true
+		}
+		for _, p := range a.Preds(t.EdgeTo) {
+			if po := a.Op(p); po != nil {
+				tol[po.Output] = true
+			}
+		}
+	}
+	return tol
+}

@@ -1,0 +1,157 @@
+package synth
+
+import (
+	"fmt"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+)
+
+// optimizePlacement reassigns devices to block slots to minimize the
+// assay's weighted communication distance — the placement step of the
+// PathDriver-class synthesis flow ([7]'s architectural synthesis).
+// All blocks share one footprint, so any permutation of the slot
+// assignment is legal; a deterministic pairwise-swap hill climb (no
+// randomness, bounded passes) is sufficient at Table II scale.
+//
+// Cost: sum over communicating device pairs of
+// weight(d1,d2) * manhattan(center1, center2), where the weight counts
+// the assay edges whose producer/consumer are bound to the pair, plus a
+// boundary pull for devices with many reagent injections or disposals
+// (their fluids come from and go to the chip edge).
+func optimizePlacement(a *assay.Assay, specs []DeviceSpec, cfg Config) (*grid.Chip, map[string]*grid.Device, error) {
+	chip, err := buildChip(a.Name, specs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	binding, err := bind(a, chip)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	devices := chip.Devices()
+	n := len(devices)
+	if n < 2 {
+		return chip, binding, nil
+	}
+	slots := make([]geom.Rect, n)
+	for i, d := range devices {
+		slots[i] = d.Area
+	}
+	// assignment[i] = slot index of devices[i].
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+
+	// Communication weights from the bound assay.
+	idx := map[string]int{}
+	for i, d := range devices {
+		idx[d.ID] = i
+	}
+	comm := make([][]int, n)
+	for i := range comm {
+		comm[i] = make([]int, n)
+	}
+	boundary := make([]int, n)
+	for _, e := range a.Edges() {
+		from, to := binding[e.From], binding[e.To]
+		if from == nil || to == nil || from == to {
+			continue
+		}
+		comm[idx[from.ID]][idx[to.ID]]++
+		comm[idx[to.ID]][idx[from.ID]]++
+	}
+	for _, op := range a.Ops() {
+		d := binding[op.ID]
+		if d == nil {
+			continue
+		}
+		boundary[idx[d.ID]] += len(op.Reagents)
+		if len(a.Succs(op.ID)) == 0 || op.DiscardResult {
+			boundary[idx[d.ID]]++
+		}
+	}
+
+	center := func(r geom.Rect) geom.Point {
+		return geom.Pt(r.Min.X+r.W()/2, r.Min.Y+r.H()/2)
+	}
+	edgeDist := func(p geom.Point) int {
+		d := p.X
+		if v := p.Y; v < d {
+			d = v
+		}
+		if v := chip.W - 1 - p.X; v < d {
+			d = v
+		}
+		if v := chip.H - 1 - p.Y; v < d {
+			d = v
+		}
+		return d
+	}
+	cost := func(asg []int) int {
+		total := 0
+		for i := 0; i < n; i++ {
+			ci := center(slots[asg[i]])
+			for j := i + 1; j < n; j++ {
+				if comm[i][j] != 0 {
+					total += comm[i][j] * ci.Manhattan(center(slots[asg[j]]))
+				}
+			}
+			total += boundary[i] * edgeDist(ci)
+		}
+		return total
+	}
+
+	cur := cost(assignment)
+	for pass := 0; pass < 20; pass++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				assignment[i], assignment[j] = assignment[j], assignment[i]
+				if c := cost(assignment); c < cur {
+					cur = c
+					improved = true
+				} else {
+					assignment[i], assignment[j] = assignment[j], assignment[i]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Rebuild the chip with the optimized slot assignment: the street
+	// grid and ports are identical, only device rectangles move.
+	out := grid.NewChip(chip.Name, chip.W, chip.H)
+	out.CellLengthMM = chip.CellLengthMM
+	out.FlowVelocityMMs = chip.FlowVelocityMMs
+	out.DissolutionS = chip.DissolutionS
+	for i, d := range devices {
+		if _, err := out.AddDevice(d.ID, d.Kind, slots[assignment[i]]); err != nil {
+			return nil, nil, fmt.Errorf("synth: placement rebuild: %w", err)
+		}
+	}
+	for _, p := range chip.Ports() {
+		if _, err := out.AddPort(p.ID, p.Kind, p.At); err != nil {
+			return nil, nil, fmt.Errorf("synth: placement rebuild: %w", err)
+		}
+	}
+	for _, c := range chip.RoutableCells() {
+		if chip.KindAt(c) == grid.Channel {
+			if err := out.AddChannel(c); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	newBinding, err := bind(a, out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, newBinding, nil
+}

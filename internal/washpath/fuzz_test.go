@@ -1,0 +1,92 @@
+package washpath
+
+import (
+	"testing"
+
+	"pathdriverwash/internal/geom"
+)
+
+// FuzzChainOrder decodes bytes into a cell set and checks ChainOrder's
+// contract: a returned order is a permutation of the input with every
+// consecutive pair adjacent; a chainable straight line never fails.
+func FuzzChainOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0})
+	f.Add([]byte{5, 5})
+	f.Add([]byte{1, 1, 1, 2, 2, 2, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 28 {
+			return
+		}
+		set := map[geom.Point]bool{}
+		var cells []geom.Point
+		for i := 0; i+1 < len(data); i += 2 {
+			p := geom.Pt(int(data[i]%8), int(data[i+1]%8))
+			if !set[p] {
+				set[p] = true
+				cells = append(cells, p)
+			}
+		}
+		order, err := ChainOrder(cells)
+		if err != nil {
+			return // unchainable sets are allowed to fail
+		}
+		if len(order) != len(cells) {
+			t.Fatalf("order has %d cells, input %d", len(order), len(cells))
+		}
+		seen := map[geom.Point]bool{}
+		for i, p := range order {
+			if !set[p] {
+				t.Fatalf("foreign cell %v in order", p)
+			}
+			if seen[p] {
+				t.Fatalf("cell %v repeated", p)
+			}
+			seen[p] = true
+			if i > 0 && !order[i-1].Adjacent(p) {
+				t.Fatalf("non-adjacent consecutive cells %v %v", order[i-1], p)
+			}
+		}
+	})
+}
+
+// FuzzChainDecompose checks the decomposition contract: chains
+// partition the input and each chain is contiguous.
+func FuzzChainDecompose(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1, 2, 1})
+	f.Add([]byte{3, 3, 5, 5, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 32 {
+			return
+		}
+		set := map[geom.Point]bool{}
+		var cells []geom.Point
+		for i := 0; i+1 < len(data); i += 2 {
+			p := geom.Pt(int(data[i]%9), int(data[i+1]%9))
+			if !set[p] {
+				set[p] = true
+				cells = append(cells, p)
+			}
+		}
+		if len(cells) == 0 {
+			return
+		}
+		parts := chainDecompose(cells)
+		total := 0
+		seen := map[geom.Point]bool{}
+		for _, part := range parts {
+			total += len(part)
+			for i, p := range part {
+				if !set[p] || seen[p] {
+					t.Fatalf("partition broken at %v", p)
+				}
+				seen[p] = true
+				if i > 0 && !part[i-1].Adjacent(p) {
+					t.Fatalf("chain %v not contiguous", part)
+				}
+			}
+		}
+		if total != len(cells) {
+			t.Fatalf("decomposition covers %d of %d cells", total, len(cells))
+		}
+	})
+}

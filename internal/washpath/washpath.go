@@ -1,0 +1,596 @@
+// Package washpath constructs wash paths: complete flow paths
+// [flow port - contaminated cells - waste port] covering a set of wash
+// targets at minimum length.
+//
+// The exact mode implements the paper's ILP (Sec. III):
+//
+//   - Eq. 12: exactly one flow port and one waste port are allocated;
+//   - Eq. 13: exactly one cell adjacent to each chosen port is occupied;
+//   - Eq. 14: every interior occupied cell has exactly two occupied
+//     neighbours (path degree);
+//   - Eq. 15: every wash target is covered;
+//   - objective: minimize the number of occupied cells (the path's
+//     contribution to L_wash in Eq. 25).
+//
+// Eq. 14 alone admits solutions with disconnected cycles, so the solver
+// adds lazy connectivity cuts: whenever the incumbent selection splits
+// into multiple components, each component not containing the chosen
+// flow port is forbidden and the ILP is re-solved (documented in
+// DESIGN.md). Cells of devices that are not themselves wash targets are
+// excluded — buffer must not flush through a device holding fluid.
+//
+// The heuristic mode (and the fallback when the ILP hits its time
+// budget) is the BFS chain construction of route.FlushPath, the same
+// procedure the DAWO baseline uses.
+package washpath
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/lp"
+	"pathdriverwash/internal/milp"
+	"pathdriverwash/internal/route"
+)
+
+// Request asks for one wash path.
+type Request struct {
+	// Targets are the contaminated cells the path must cover. They are
+	// used as given for the ILP; for the heuristic they must form a
+	// chain (use ChainOrder to arrange arbitrary connected sets).
+	Targets []geom.Point
+}
+
+// Options tunes the construction.
+type Options struct {
+	// Exact selects the ILP; false selects the BFS heuristic only.
+	Exact bool
+	// TimeLimit bounds the ILP solve (default 5 s). On expiry the best
+	// incumbent is used if valid, otherwise the heuristic result.
+	TimeLimit time.Duration
+	// MaxCuts bounds lazy connectivity rounds (default 20).
+	MaxCuts int
+}
+
+// Plan is a constructed wash path.
+type Plan struct {
+	Path      grid.Path
+	FlowPort  *grid.Port
+	WastePort *grid.Port
+	// Optimal reports whether the ILP proved minimality.
+	Optimal bool
+	// Exact reports whether the path came from the ILP (false: heuristic).
+	Exact bool
+}
+
+// Build constructs a wash path for the request.
+func Build(chip *grid.Chip, req Request, opts Options) (Plan, error) {
+	if len(req.Targets) == 0 {
+		return Plan{}, fmt.Errorf("washpath: no targets")
+	}
+	for _, t := range req.Targets {
+		if !chip.Routable(t) {
+			return Plan{}, fmt.Errorf("washpath: target %v is not routable", t)
+		}
+		if chip.PortAt(t) != nil {
+			return Plan{}, fmt.Errorf("washpath: target %v is a port cell", t)
+		}
+	}
+	heur, heurErr := heuristic(chip, req)
+	if !opts.Exact {
+		return heur, heurErr
+	}
+	plan, err := buildILP(chip, req, opts, heur, heurErr == nil)
+	if err != nil {
+		if heurErr == nil {
+			return heur, nil
+		}
+		return Plan{}, fmt.Errorf("washpath: ILP failed (%v) and heuristic failed (%v)", err, heurErr)
+	}
+	return plan, nil
+}
+
+// heuristic builds the BFS chain path (DAWO's construction).
+func heuristic(chip *grid.Chip, req Request) (Plan, error) {
+	chain, err := ChainOrder(req.Targets)
+	if err != nil {
+		return Plan{}, err
+	}
+	o := route.Options{AvoidPorts: true, AvoidDevices: forbiddenDevCells(chip, req.Targets)}
+	p, fp, wp, err := route.FlushPath(chip, chain, o)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Path: p, FlowPort: fp, WastePort: wp}, nil
+}
+
+// forbiddenDevCells returns device cells that are not wash targets.
+func forbiddenDevCells(chip *grid.Chip, targets []geom.Point) map[geom.Point]bool {
+	tset := map[geom.Point]bool{}
+	for _, t := range targets {
+		tset[t] = true
+	}
+	out := map[geom.Point]bool{}
+	for _, d := range chip.Devices() {
+		for _, c := range d.Cells() {
+			if !tset[c] {
+				out[c] = true
+			}
+		}
+	}
+	return out
+}
+
+// ChainOrder arranges a connected target set into a traversal order
+// whose consecutive members are adjacent (a Hamiltonian path on the
+// induced grid subgraph). A degree-guided depth-first search with
+// backtracking is used: target sets are small (one contaminated region),
+// so the exponential worst case never bites in practice, and a node
+// budget guards against pathological inputs. Fails if no chain exists.
+func ChainOrder(targets []geom.Point) ([]geom.Point, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("washpath: empty target set")
+	}
+	set := map[geom.Point]bool{}
+	for _, t := range targets {
+		set[t] = true
+	}
+	if len(set) == 1 {
+		return []geom.Point{targets[0]}, nil
+	}
+	cells := make([]geom.Point, 0, len(set))
+	for p := range set {
+		cells = append(cells, p)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Y != cells[j].Y {
+			return cells[i].Y < cells[j].Y
+		}
+		return cells[i].X < cells[j].X
+	})
+	deg := func(p geom.Point, in map[geom.Point]bool) int {
+		n := 0
+		for _, q := range p.Neighbors() {
+			if in[q] {
+				n++
+			}
+		}
+		return n
+	}
+	// Low-degree cells are the only viable chain endpoints; try starts
+	// in ascending degree order.
+	starts := append([]geom.Point(nil), cells...)
+	sort.SliceStable(starts, func(i, j int) bool {
+		return deg(starts[i], set) < deg(starts[j], set)
+	})
+
+	budget := 200000
+	var order []geom.Point
+	var dfs func(cur geom.Point, remaining map[geom.Point]bool) bool
+	dfs = func(cur geom.Point, remaining map[geom.Point]bool) bool {
+		if len(remaining) == 0 {
+			return true
+		}
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		// Visit neighbours with fewest onward options first (Warnsdorff).
+		var nbs []geom.Point
+		for _, q := range cur.Neighbors() {
+			if remaining[q] {
+				nbs = append(nbs, q)
+			}
+		}
+		sort.SliceStable(nbs, func(i, j int) bool {
+			return deg(nbs[i], remaining) < deg(nbs[j], remaining)
+		})
+		for _, q := range nbs {
+			delete(remaining, q)
+			order = append(order, q)
+			if dfs(q, remaining) {
+				return true
+			}
+			order = order[:len(order)-1]
+			remaining[q] = true
+		}
+		return false
+	}
+	for _, s := range starts {
+		remaining := make(map[geom.Point]bool, len(set))
+		for p := range set {
+			remaining[p] = true
+		}
+		delete(remaining, s)
+		order = []geom.Point{s}
+		if dfs(s, remaining) {
+			return order, nil
+		}
+	}
+	return nil, fmt.Errorf("washpath: %d targets cannot be chained", len(set))
+}
+
+// buildILP solves the Eqs. 12-15 formulation with lazy connectivity cuts.
+func buildILP(chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bool) (Plan, error) {
+	tl := opts.TimeLimit
+	if tl <= 0 {
+		tl = 5 * time.Second
+	}
+	maxCuts := opts.MaxCuts
+	if maxCuts <= 0 {
+		maxCuts = 20
+	}
+	deadline := time.Now().Add(tl)
+
+	m := newModel(chip, req, heur, haveHeur)
+	if m == nil {
+		return Plan{}, fmt.Errorf("washpath: no usable cells")
+	}
+
+	var extraCuts []map[int]float64
+	for round := 0; round <= maxCuts; round++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Plan{}, fmt.Errorf("washpath: time limit during cut round %d", round)
+		}
+		prob := m.problem(extraCuts)
+		res, err := milp.Solve(prob, milp.Options{TimeLimit: remain})
+		if err != nil {
+			return Plan{}, err
+		}
+		if res.Status != milp.Optimal && res.Status != milp.Feasible {
+			return Plan{}, fmt.Errorf("washpath: ILP status %v", res.Status)
+		}
+		plan, cut := m.extract(res.X)
+		if cut != nil {
+			extraCuts = append(extraCuts, cut)
+			continue
+		}
+		if err := plan.Path.ValidateComplete(chip); err != nil {
+			return Plan{}, fmt.Errorf("washpath: ILP produced invalid path: %w", err)
+		}
+		if !plan.Path.Covers(req.Targets) {
+			return Plan{}, fmt.Errorf("washpath: ILP path misses targets")
+		}
+		plan.Optimal = res.Status == milp.Optimal
+		plan.Exact = true
+		return plan, nil
+	}
+	return Plan{}, fmt.Errorf("washpath: connectivity cuts did not converge in %d rounds", maxCuts)
+}
+
+// model holds the variable layout of the path ILP.
+type model struct {
+	chip     *grid.Chip
+	targets  []geom.Point
+	cells    []geom.Point       // usable non-port cells
+	cellVar  map[geom.Point]int // cell -> y variable
+	fports   []*grid.Port
+	wports   []*grid.Port
+	fpVar    map[string]int // port id -> s/t variable
+	wpVar    map[string]int
+	n        int
+	heur     Plan
+	haveHeur bool
+}
+
+func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
+	m := &model{
+		chip: chip, targets: req.Targets,
+		cellVar: map[geom.Point]int{},
+		fpVar:   map[string]int{}, wpVar: map[string]int{},
+		heur: heur, haveHeur: haveHeur,
+	}
+	forbidden := forbiddenDevCells(chip, req.Targets)
+
+	// Locality pruning: with a heuristic of length L, any cell of a
+	// shorter path lies within L hops of every target.
+	var maxDist map[geom.Point]int
+	if haveHeur {
+		// A path shorter than the heuristic keeps every cell within
+		// heuristic-length hops of each target, so farther cells can
+		// only appear in tie solutions and are safely pruned.
+		bound := heur.Path.Len()
+		maxDist = map[geom.Point]int{}
+		for _, t := range req.Targets {
+			d := route.Distances(chip, t, route.Options{AvoidDevices: forbidden})
+			for p, dd := range d {
+				if cur, ok := maxDist[p]; !ok || dd > cur {
+					maxDist[p] = dd
+				}
+			}
+		}
+		for p, dd := range maxDist {
+			if dd >= bound {
+				delete(maxDist, p)
+			}
+		}
+	}
+
+	for _, p := range chip.RoutableCells() {
+		if chip.PortAt(p) != nil || forbidden[p] {
+			continue
+		}
+		if maxDist != nil {
+			if _, ok := maxDist[p]; !ok {
+				continue
+			}
+		}
+		m.cellVar[p] = m.n
+		m.cells = append(m.cells, p)
+		m.n++
+	}
+	for _, t := range req.Targets {
+		if _, ok := m.cellVar[t]; !ok {
+			return nil // target pruned away: should not happen
+		}
+	}
+	for _, p := range chip.FlowPorts() {
+		if maxDist != nil && !adjacentToKnown(p.At, maxDist) {
+			continue
+		}
+		m.fpVar[p.ID] = m.n
+		m.fports = append(m.fports, p)
+		m.n++
+	}
+	for _, p := range chip.WastePorts() {
+		if maxDist != nil && !adjacentToKnown(p.At, maxDist) {
+			continue
+		}
+		m.wpVar[p.ID] = m.n
+		m.wports = append(m.wports, p)
+		m.n++
+	}
+	if len(m.fports) == 0 || len(m.wports) == 0 {
+		// Pruning removed all ports; fall back to every port.
+		for _, p := range chip.FlowPorts() {
+			if _, ok := m.fpVar[p.ID]; !ok {
+				m.fpVar[p.ID] = m.n
+				m.fports = append(m.fports, p)
+				m.n++
+			}
+		}
+		for _, p := range chip.WastePorts() {
+			if _, ok := m.wpVar[p.ID]; !ok {
+				m.wpVar[p.ID] = m.n
+				m.wports = append(m.wports, p)
+				m.n++
+			}
+		}
+	}
+	if m.n == 0 {
+		return nil
+	}
+	return m
+}
+
+func adjacentToKnown(p geom.Point, known map[geom.Point]int) bool {
+	if _, ok := known[p]; ok {
+		return true
+	}
+	for _, q := range p.Neighbors() {
+		if _, ok := known[q]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// problem assembles the MILP with the given extra connectivity cuts.
+func (m *model) problem(cuts []map[int]float64) *milp.Problem {
+	p := milp.NewProblem(0)
+	for i := 0; i < m.n; i++ {
+		p.AddBinary()
+	}
+	// Objective: path length in cells (ports count once each, constant).
+	for _, c := range m.cells {
+		p.SetObjective(m.cellVar[c], 1)
+	}
+
+	// Eq. 12: one flow port, one waste port.
+	fsum := map[int]float64{}
+	for _, fp := range m.fports {
+		fsum[m.fpVar[fp.ID]] = 1
+	}
+	p.LP.AddConstraint(fsum, lp.EQ, 1, "eq12-flow")
+	wsum := map[int]float64{}
+	for _, wp := range m.wports {
+		wsum[m.wpVar[wp.ID]] = 1
+	}
+	p.LP.AddConstraint(wsum, lp.EQ, 1, "eq12-waste")
+
+	// Eq. 13: exactly one neighbour of a chosen port is occupied; an
+	// unchosen port contributes no requirement.
+	portDegree := func(at geom.Point, v int, name string) {
+		coefs := map[int]float64{}
+		cnt := 0
+		for _, q := range at.Neighbors() {
+			if j, ok := m.cellVar[q]; ok {
+				coefs[j] = 1
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			// Port has no usable neighbour: cannot be chosen.
+			p.LP.AddConstraint(map[int]float64{v: 1}, lp.EQ, 0, name+"-isolated")
+			return
+		}
+		lo := map[int]float64{}
+		for j, c := range coefs {
+			lo[j] = c
+		}
+		lo[v] = -1
+		p.LP.AddConstraint(lo, lp.GE, 0, name+"-lo") // sum >= chosen
+		hi := map[int]float64{}
+		for j, c := range coefs {
+			hi[j] = c
+		}
+		hi[v] = float64(cnt - 1)
+		p.LP.AddConstraint(hi, lp.LE, float64(cnt), name+"-hi") // sum <= 1 if chosen
+	}
+	for _, fp := range m.fports {
+		portDegree(fp.At, m.fpVar[fp.ID], "eq13-"+fp.ID)
+	}
+	for _, wp := range m.wports {
+		portDegree(wp.At, m.wpVar[wp.ID], "eq13-"+wp.ID)
+	}
+
+	// Eq. 14: occupied non-port cells have exactly two occupied
+	// neighbours (chosen ports count as neighbours).
+	for _, c := range m.cells {
+		v := m.cellVar[c]
+		coefs := map[int]float64{}
+		cnt := 0
+		for _, q := range c.Neighbors() {
+			if j, ok := m.cellVar[q]; ok {
+				coefs[j] += 1
+				cnt++
+				continue
+			}
+			if pt := m.chip.PortAt(q); pt != nil {
+				if j, ok := m.fpVar[pt.ID]; ok && pt.Kind == grid.FlowPort {
+					coefs[j] += 1
+					cnt++
+				} else if j, ok := m.wpVar[pt.ID]; ok && pt.Kind == grid.WastePort {
+					coefs[j] += 1
+					cnt++
+				}
+			}
+		}
+		if cnt < 2 {
+			// Dead-end cell can never be on a path.
+			p.LP.AddConstraint(map[int]float64{v: 1}, lp.EQ, 0, fmt.Sprintf("eq14-deadend-%v", c))
+			continue
+		}
+		lo := map[int]float64{}
+		for j, cf := range coefs {
+			lo[j] = cf
+		}
+		lo[v] += -2
+		p.LP.AddConstraint(lo, lp.GE, 0, fmt.Sprintf("eq14-lo-%v", c))
+		hi := map[int]float64{}
+		for j, cf := range coefs {
+			hi[j] = cf
+		}
+		hi[v] += float64(cnt - 2)
+		p.LP.AddConstraint(hi, lp.LE, float64(cnt), fmt.Sprintf("eq14-hi-%v", c))
+	}
+
+	// Eq. 15: all targets covered.
+	for _, t := range m.targets {
+		p.LP.AddConstraint(map[int]float64{m.cellVar[t]: 1}, lp.EQ, 1, fmt.Sprintf("eq15-%v", t))
+	}
+
+	// Lazy connectivity cuts from earlier rounds.
+	for i, cut := range cuts {
+		rhs := -1.0
+		coefs := map[int]float64{}
+		for v, cf := range cut {
+			coefs[v] = cf
+			rhs += cf
+		}
+		p.LP.AddConstraint(coefs, lp.LE, rhs, fmt.Sprintf("cut-%d", i))
+	}
+	return p
+}
+
+// extract reads the solution: either a valid plan, or a connectivity cut
+// (the y-variables of a component disconnected from the chosen port).
+func (m *model) extract(x []float64) (Plan, map[int]float64) {
+	sel := map[geom.Point]bool{}
+	for _, c := range m.cells {
+		if x[m.cellVar[c]] > 0.5 {
+			sel[c] = true
+		}
+	}
+	var fp, wp *grid.Port
+	for _, f := range m.fports {
+		if x[m.fpVar[f.ID]] > 0.5 {
+			fp = f
+		}
+	}
+	for _, w := range m.wports {
+		if x[m.wpVar[w.ID]] > 0.5 {
+			wp = w
+		}
+	}
+	// Walk from the flow port through selected cells.
+	var cellsInPath []geom.Point
+	cellsInPath = append(cellsInPath, fp.At)
+	visited := map[geom.Point]bool{fp.At: true}
+	cur := fp.At
+	for {
+		var next geom.Point
+		found := false
+		for _, q := range cur.Neighbors() {
+			if visited[q] {
+				continue
+			}
+			if sel[q] {
+				next, found = q, true
+				break
+			}
+			if q == wp.At {
+				next, found = q, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		cellsInPath = append(cellsInPath, next)
+		visited[next] = true
+		cur = next
+		if cur == wp.At {
+			break
+		}
+	}
+	// Any selected cell not visited forms a disconnected component:
+	// emit a cut forbidding that exact component.
+	var orphan []geom.Point
+	for c := range sel {
+		if !visited[c] {
+			orphan = append(orphan, c)
+		}
+	}
+	if len(orphan) > 0 {
+		// Collect one connected component of the orphans.
+		comp := component(orphan[0], sel, visited)
+		cut := map[int]float64{}
+		for _, c := range comp {
+			cut[m.cellVar[c]] = 1
+		}
+		return Plan{}, cut
+	}
+	if cur != wp.At {
+		// Walk died before the waste port (should not happen when the
+		// degree constraints hold); forbid the whole selection.
+		cut := map[int]float64{}
+		for c := range sel {
+			cut[m.cellVar[c]] = 1
+		}
+		return Plan{}, cut
+	}
+	return Plan{Path: grid.NewPath(cellsInPath...), FlowPort: fp, WastePort: wp}, nil
+}
+
+func component(start geom.Point, sel, exclude map[geom.Point]bool) []geom.Point {
+	seen := map[geom.Point]bool{start: true}
+	stack := []geom.Point{start}
+	var out []geom.Point
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, p)
+		for _, q := range p.Neighbors() {
+			if sel[q] && !exclude[q] && !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	return out
+}
