@@ -1,0 +1,27 @@
+.PHONY: build vet test test-full race check bench
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+# Fast suite: skips the full Table II sweeps (-short).
+test:
+	go test -short ./...
+
+# Full suite, including every benchmark sweep (many minutes).
+test-full:
+	go test ./...
+
+# Race-detector pass over the concurrency-bearing packages.
+race:
+	go test -race -short ./internal/harness ./internal/milp
+
+# The verification gate: build + vet + fast tests + race pass.
+check:
+	./scripts/check.sh
+
+# Paper evaluation artifacts (Table II, Fig. 4, Fig. 5).
+bench:
+	go run ./cmd/pdwbench

@@ -6,12 +6,15 @@
 //	pdw -bench PCR                 # run PDW on the PCR benchmark
 //	pdw -bench IVD -method dawo    # run the baseline
 //	pdw -bench PCR -gantt -paths   # also print the Gantt chart and paths
+//	pdw -bench PCR -stats          # print the structured solve trace
+//	pdw -bench PCR -budget 2s      # bound the whole run by a deadline
 //	pdw -file assay.json           # run a custom JSON assay
 //	pdw -bench PCR -export         # dump a benchmark as JSON
 //	pdw -list                      # list available benchmarks
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,7 @@ import (
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/scheduleio"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/synth"
 )
 
@@ -40,6 +44,8 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		pathTL    = flag.Duration("path-time", 3*time.Second, "wash-path ILP time limit")
 		winTL     = flag.Duration("window-time", 10*time.Second, "time-window MILP time limit")
+		budget    = flag.Duration("budget", 0, "total wall-clock budget; on expiry the run degrades to heuristic incumbents")
+		stats     = flag.Bool("stats", false, "print the structured solve trace")
 		heuristic = flag.Bool("heuristic", false, "use BFS paths and greedy windows (no ILP)")
 		outJSON   = flag.String("out", "", "write the optimized schedule as JSON to this file")
 	)
@@ -98,11 +104,12 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
 	var out *schedule.Schedule
 	switch *method {
 	case "pdw":
-		res, err := pdw.Optimize(syn.Schedule, pdw.Options{
-			PathTimeLimit: *pathTL, WindowTimeLimit: *winTL,
+		res, err := pdw.OptimizeContext(ctx, syn.Schedule, pdw.Options{
+			Budget:         solve.Budget{Total: *budget, PerPath: *pathTL, Window: *winTL},
 			HeuristicPaths: *heuristic, HeuristicWindows: *heuristic,
 		})
 		if err != nil {
@@ -112,13 +119,23 @@ func main() {
 		fmt.Printf("PDW: %d washes (%d integrated removals), windows optimal: %v, objective %.2f\n",
 			len(res.Washes), res.IntegratedRemovals, res.WindowsOptimal, res.Objective)
 		fmt.Printf("necessity analysis: %v\n", res.Skips)
+		if *stats {
+			fmt.Println("solve trace:")
+			fmt.Println(res.Stats.Summary())
+		}
 	case "dawo":
-		res, err := dawo.Optimize(syn.Schedule, dawo.Options{})
+		res, err := dawo.OptimizeContext(ctx, syn.Schedule, dawo.Options{
+			Budget: solve.Budget{Total: *budget},
+		})
 		if err != nil {
 			fatal(err)
 		}
 		out = res.Schedule
 		fmt.Printf("DAWO: %d washes in %d rounds\n", len(res.Washes), res.Rounds)
+		if *stats {
+			fmt.Println("solve trace:")
+			fmt.Println(res.Stats.Summary())
+		}
 	case "demand":
 		res, err := demandwash.Optimize(syn.Schedule, demandwash.Options{})
 		if err != nil {

@@ -10,14 +10,18 @@
 //	pdwbench -csv         # machine-readable CSV
 //	pdwbench -paper       # measured-vs-paper improvement comparison
 //	pdwbench -quick       # smaller solver budgets (fast smoke run)
+//	pdwbench -stats       # per-benchmark structured solve traces
+//	pdwbench -parallel 4  # worker-pool sweep with 4 workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"pathdriverwash/internal/benchmarks"
 	"pathdriverwash/internal/harness"
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/report"
@@ -31,9 +35,11 @@ func main() {
 		csv    = flag.Bool("csv", false, "print CSV only")
 		paper  = flag.Bool("paper", false, "print measured-vs-paper comparison only")
 		quick  = flag.Bool("quick", false, "small solver budgets")
+		stats  = flag.Bool("stats", false, "print per-benchmark solve traces")
 		winTL  = flag.Duration("window-time", 10*time.Second, "time-window MILP limit per benchmark")
 		pathTL = flag.Duration("path-time", 3*time.Second, "wash-path ILP limit per path")
-		par    = flag.Int("parallel", 1, "benchmarks run concurrently (0 = GOMAXPROCS)")
+		budget = flag.Duration("budget", 0, "total sweep deadline; expiry degrades runs to heuristic incumbents")
+		par    = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -46,14 +52,15 @@ func main() {
 		opts.BaseCompressLimit = time.Second
 	}
 
-	start := time.Now()
-	var outs []*harness.Outcome
-	var err error
-	if *par == 1 {
-		outs, err = harness.RunAll(opts)
-	} else {
-		outs, err = harness.RunAllParallel(opts, *par)
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
 	}
+
+	start := time.Now()
+	outs, err := harness.Run(ctx, benchmarks.All(), opts, *par)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdwbench:", err)
 		os.Exit(1)
@@ -78,9 +85,15 @@ func main() {
 	}
 	if all {
 		for _, o := range outs {
-			fmt.Printf("%-14s DAWO %6.2fs  PDW %6.2fs (windows optimal: %v)\n",
-				o.Benchmark.Name, o.DAWOTime.Seconds(), o.PDWTime.Seconds(), o.PDW.WindowsOptimal)
+			fmt.Printf("%-14s DAWO %6.2fs  PDW %6.2fs (windows optimal: %v, B&B nodes %d, simplex pivots %d)\n",
+				o.Benchmark.Name, o.DAWOTime.Seconds(), o.PDWTime.Seconds(), o.PDW.WindowsOptimal,
+				o.PDW.Stats.Nodes(), o.PDW.Stats.SimplexIters())
 		}
 		fmt.Printf("total runtime: %.1fs\n", time.Since(start).Seconds())
+	}
+	if *stats {
+		for _, o := range outs {
+			fmt.Printf("\n%s PDW solve trace:\n%s\n", o.Benchmark.Name, o.PDW.Stats.Summary())
+		}
 	}
 }

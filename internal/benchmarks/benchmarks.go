@@ -13,6 +13,7 @@
 package benchmarks
 
 import (
+	"context"
 	"fmt"
 
 	"pathdriverwash/internal/assay"
@@ -45,6 +46,12 @@ type Benchmark struct {
 // Synthesize builds the chip architecture and wash-free scheduling.
 func (b *Benchmark) Synthesize() (*synth.Result, error) {
 	return synth.Synthesize(b.Assay, b.Config)
+}
+
+// SynthesizeContext is Synthesize under a context (see
+// synth.SynthesizeContext for the cancellation contract).
+func (b *Benchmark) SynthesizeContext(ctx context.Context) (*synth.Result, error) {
+	return synth.SynthesizeContext(ctx, b.Assay, b.Config)
 }
 
 // All returns the eight Table II benchmarks in paper order.

@@ -17,6 +17,7 @@
 package dawo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"pathdriverwash/internal/contam"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/washpath"
 )
 
@@ -31,7 +33,17 @@ import (
 type Options struct {
 	// MaxRounds caps wash-insertion fixpoint rounds (default 60).
 	MaxRounds int
-	// TimeLimit caps total optimization time (default 60 s).
+	// Budget bounds the run; only Budget.Total applies (DAWO solves no
+	// inner ILPs). Unlike the deprecated TimeLimit below, expiry of the
+	// Budget.Total deadline degrades gracefully: the remaining fixpoint
+	// rounds (pure BFS work) complete and the clean schedule is
+	// returned with Stats.Canceled set.
+	Budget solve.Budget
+	// TimeLimit caps total optimization time (default 60 s) and errors
+	// on expiry.
+	//
+	// Deprecated: prefer Budget.Total (or a context deadline), which
+	// returns the finished schedule instead of an error.
 	TimeLimit time.Duration
 }
 
@@ -43,14 +55,29 @@ type Result struct {
 	Washes []replan.WashSpec
 	// Rounds is the number of fixpoint rounds used.
 	Rounds int
+	// Stats is the structured solve telemetry (phase wall times and the
+	// conservative policy's skip counts; DAWO runs no ILPs).
+	Stats *solve.Stats
 }
 
 // policy is DAWO's conservative contamination judgement: residue of any
 // foreign task counts, even of the same fluid type.
 var policy = contam.Policy{IgnoreFluidTypes: true}
 
-// Optimize inserts washes into the base (wash-free) schedule.
+// Optimize inserts washes into the base (wash-free) schedule; see
+// OptimizeContext.
 func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), base, opts)
+}
+
+// OptimizeContext is Optimize under a context. DAWO's fixpoint rounds
+// are pure BFS and sweep work — there is no partial incumbent a caller
+// could use (an unconverged schedule is still contaminated) — so a
+// canceled ctx or an expired Budget.Total does not abort: the remaining
+// rounds complete (cheaply) and the clean schedule is returned with
+// Stats.Canceled set. Only the deprecated Options.TimeLimit errors on
+// expiry, preserving the historical contract.
+func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options) (*Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 60
@@ -60,28 +87,41 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 		tl = 60 * time.Second
 	}
 	deadline := time.Now().Add(tl)
+	ctx, stop := opts.Budget.Context(ctx)
+	defer stop()
+	stats := &solve.Stats{}
+	endFix := stats.StartPhase("wash-insertion")
 
 	cur := base
 	var washes []replan.WashSpec
+	var firstSkips map[contam.SkipReason]int
 	for round := 1; round <= maxRounds; round++ {
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dawo: time limit after %d rounds", round-1)
+			return nil, fmt.Errorf("dawo: %w after %d rounds", solve.ErrBudgetExceeded, round-1)
 		}
 		an, err := contam.AnalyzeWithPolicy(cur, policy)
 		if err != nil {
 			return nil, err
 		}
+		if firstSkips == nil {
+			firstSkips = an.Skips
+		}
 		if len(an.Requirements) == 0 {
 			if err := cur.Validate(); err != nil {
 				return nil, fmt.Errorf("dawo: final schedule invalid: %w", err)
 			}
-			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1}, nil
+			endFix()
+			stats.SetSkips(skipNames(firstSkips))
+			if ctx.Err() != nil {
+				stats.MarkCanceled()
+			}
+			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1, Stats: stats}, nil
 		}
 		groups := contam.GroupRequirements(an.Requirements)
 		// No merging: each contaminated region gets its own wash (the
 		// baseline's lack of resource sharing).
 		for _, g := range groups {
-			plans, coveredSets, err := washpath.BuildCover(cur.Chip, g.Targets, washpath.Options{})
+			plans, coveredSets, err := washpath.BuildCoverContext(ctx, cur.Chip, g.Targets, washpath.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("dawo: wash path for %v: %w", g.Targets, err)
 			}
@@ -105,7 +145,20 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("dawo: no fixpoint in %d rounds", maxRounds)
+	return nil, fmt.Errorf("dawo: no fixpoint in %d rounds: %w", maxRounds, solve.ErrBudgetExceeded)
+}
+
+// skipNames converts the typed skip counters to the string keys the
+// solve.Stats trace carries.
+func skipNames(skips map[contam.SkipReason]int) map[string]int {
+	if skips == nil {
+		return nil
+	}
+	out := make(map[string]int, len(skips))
+	for r, n := range skips {
+		out[r.String()] = n
+	}
+	return out
 }
 
 // WashDuration computes t(w) = L(l_w)/v_f + t_d (Eq. 17) rounded up to

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,27 +44,36 @@ type Outcome struct {
 
 // RunBenchmark executes both methods on one benchmark.
 func RunBenchmark(b *benchmarks.Benchmark, opts Options) (*Outcome, error) {
+	return RunBenchmarkContext(context.Background(), b, opts)
+}
+
+// RunBenchmarkContext is RunBenchmark under a context. Cancellation
+// propagates into every solver phase; DAWO and PDW degrade to their
+// heuristic incumbents (see their OptimizeContext docs), so a canceled
+// run still yields a valid, verified Outcome unless synthesis itself
+// was aborted at entry.
+func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Options) (*Outcome, error) {
 	if opts.BaseCompressLimit <= 0 {
 		opts.BaseCompressLimit = 5 * time.Second
 	}
-	syn, err := b.Synthesize()
+	syn, err := b.SynthesizeContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
-	ref, err := pdw.CompressBase(syn.Schedule, opts.BaseCompressLimit)
+	ref, err := pdw.CompressBaseContext(ctx, syn.Schedule, opts.BaseCompressLimit)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: compress base: %w", b.Name, err)
 	}
 
 	t0 := time.Now()
-	dres, err := dawo.Optimize(syn.Schedule, opts.DAWO)
+	dres, err := dawo.OptimizeContext(ctx, syn.Schedule, opts.DAWO)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: DAWO: %w", b.Name, err)
 	}
 	dTime := time.Since(t0)
 
 	t0 = time.Now()
-	pres, err := pdw.Optimize(syn.Schedule, opts.PDW)
+	pres, err := pdw.OptimizeContext(ctx, syn.Schedule, opts.PDW)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: PDW: %w", b.Name, err)
 	}
@@ -102,42 +112,66 @@ func clampNonNegative(v int) int {
 	return v
 }
 
-// RunAll executes all Table II benchmarks and returns their outcomes in
-// paper order.
+// RunAll executes all Table II benchmarks sequentially and returns
+// their outcomes in paper order.
 func RunAll(opts Options) ([]*Outcome, error) {
-	var out []*Outcome
-	for _, b := range benchmarks.All() {
-		o, err := RunBenchmark(b, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, o)
-	}
-	return out, nil
+	return Run(context.Background(), benchmarks.All(), opts, 1)
 }
 
-// RunAllParallel executes the benchmarks concurrently with at most
+// RunAllParallel executes the benchmarks on a worker pool with at most
 // workers goroutines (0 selects GOMAXPROCS). Every benchmark run is
 // self-contained and deterministic, so the outcomes match RunAll; only
 // the per-run wall-clock measurements change under CPU contention.
 func RunAllParallel(opts Options, workers int) ([]*Outcome, error) {
+	return Run(context.Background(), benchmarks.All(), opts, workers)
+}
+
+// Run executes the given benchmarks on a bounded worker pool and
+// returns their outcomes in input order. workers caps pool size; 0 (or
+// any non-positive value) selects GOMAXPROCS, and the pool never grows
+// beyond the number of benchmarks. Jobs are drained from a shared
+// channel, so a slow benchmark never blocks the rest of the queue
+// behind it.
+//
+// Cancelling ctx stops feeding new jobs and propagates into every
+// in-flight solve; those runs degrade to their heuristic incumbents and
+// still produce valid outcomes, while benchmarks never started are
+// reported as a ctx.Err()-wrapped error. The first error in paper order
+// wins.
+func Run(ctx context.Context, benches []*benchmarks.Benchmark, opts Options, workers int) ([]*Outcome, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	all := benchmarks.All()
-	outs := make([]*Outcome, len(all))
-	errs := make([]error, len(all))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, b := range all {
-		wg.Add(1)
-		go func(i int, b *benchmarks.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = RunBenchmark(b, opts)
-		}(i, b)
+	if workers > len(benches) {
+		workers = len(benches)
 	}
+	outs := make([]*Outcome, len(benches))
+	errs := make([]error, len(benches))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i], errs[i] = RunBenchmarkContext(ctx, benches[i], opts)
+			}
+		}()
+	}
+feed:
+	for i := range benches {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Jobs i..end were never handed to a worker, so these slots
+			// are untouched and safe to write from the feeder.
+			for j := i; j < len(benches); j++ {
+				errs[j] = fmt.Errorf("harness: %s: not started: %w", benches[j].Name, ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -93,15 +95,45 @@ func TestClampNonNegative(t *testing.T) {
 	}
 }
 
-func TestRunAllParallelMatchesSequential(t *testing.T) {
-	if testing.Short() {
-		t.Skip("parallel sweep skipped in -short mode")
+// deterministicOpts makes every solver phase wall-clock-independent:
+// heuristic paths and windows never consult a deadline, and DAWO's BFS
+// never did, so two sweeps — at any worker count — must agree bitwise.
+// (The base-compression LP is a deadline-checked solve, but its root
+// relaxation finishes in milliseconds; the generous limit keeps even a
+// heavily contended run off the deadline path.)
+func deterministicOpts() Options {
+	return Options{
+		PDW:               pdw.Options{HeuristicPaths: true, HeuristicWindows: true},
+		BaseCompressLimit: 30 * time.Second,
 	}
-	seq, err := RunAll(quickOpts())
+}
+
+// TestRunAllParallelMatchesSequential proves the worker-pool sweep is
+// observationally identical to the sequential one: every report row —
+// all Table II / Fig. 4 / Fig. 5 metrics — must be bitwise equal. It
+// runs in -short mode too, so the race-detector gate covers the pool,
+// but there it sweeps only the five sub-second benchmarks (dropping
+// Kinase act-2 in particular, whose conservative-policy DAWO run alone
+// costs ~30s before the race detector's slowdown).
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	benches := benchmarks.All()
+	if testing.Short() {
+		var fast []*benchmarks.Benchmark
+		for _, name := range []string{"PCR", "IVD", "Kinase act-1", "Synthetic1", "Synthetic2"} {
+			b, err := benchmarks.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast = append(fast, b)
+		}
+		benches = fast
+	}
+	ctx := context.Background()
+	seq, err := Run(ctx, benches, deterministicOpts(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunAllParallel(quickOpts(), 4)
+	par, err := Run(ctx, benches, deterministicOpts(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,20 +141,42 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
 	}
 	for i := range seq {
-		s, p := seq[i].Row, par[i].Row
-		if s.Benchmark != p.Benchmark {
-			t.Fatalf("order differs at %d: %s vs %s", i, s.Benchmark, p.Benchmark)
+		s, p := seq[i], par[i]
+		if s.Row != p.Row {
+			t.Errorf("row %d differs:\nseq: %+v\npar: %+v", i, s.Row, p.Row)
 		}
-		// DAWO uses no time-limited solver: fully deterministic.
-		if s.DAWONWash != p.DAWONWash || s.DAWOLWash != p.DAWOLWash {
-			t.Errorf("%s: DAWO metrics differ between sequential and parallel", s.Benchmark)
+		if s.PDW.Schedule.Makespan() != p.PDW.Schedule.Makespan() ||
+			s.DAWO.Schedule.Makespan() != p.DAWO.Schedule.Makespan() {
+			t.Errorf("%s: makespans differ between sequential and parallel", s.Row.Benchmark)
 		}
-		// PDW's path ILPs run under wall-clock budgets; contention can
-		// drop an exact path to the BFS fallback, so only the headline
-		// shape is asserted for the parallel run.
-		if p.PDWNWash > p.DAWONWash || p.PDWTAssay > p.DAWOTAssay {
-			t.Errorf("%s: parallel PDW lost to DAWO (N %d vs %d, Ta %d vs %d)",
-				s.Benchmark, p.PDWNWash, p.DAWONWash, p.PDWTAssay, p.DAWOTAssay)
-		}
+	}
+}
+
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, benchmarks.All(), deterministicOpts(), 2)
+	if err == nil {
+		t.Fatal("pre-canceled sweep must report an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+}
+
+func TestRunSingleWorkerSubset(t *testing.T) {
+	b, err := benchmarks.ByName("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Run(context.Background(), []*benchmarks.Benchmark{b}, deterministicOpts(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Row.Benchmark != "PCR" {
+		t.Fatalf("outs = %+v", outs)
+	}
+	if outs[0].PDW.Stats == nil || len(outs[0].PDW.Stats.Phases) == 0 {
+		t.Error("outcome missing PDW solve stats")
 	}
 }

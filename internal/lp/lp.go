@@ -15,6 +15,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -164,6 +165,15 @@ const (
 
 // Solve optimizes the problem with two-phase simplex.
 func Solve(p *Problem) (Result, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve honoring cancellation: the pivot loop checks ctx
+// every few dozen iterations and returns ctx.Err() once it is done.
+// Simplex keeps no feasible iterate worth returning mid-flight, so
+// cancellation surfaces as an error here; integer layers above treat it
+// like an iteration limit and fall back to their own incumbents.
+func SolveContext(ctx context.Context, p *Problem) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
@@ -183,6 +193,7 @@ func Solve(p *Problem) (Result, error) {
 		}
 		return Result{Status: Optimal, X: x, Obj: obj}, nil
 	}
+	t.ctx = ctx
 	res, err := t.solveTwoPhase()
 	if err != nil || res.Status != Optimal {
 		return res, err
@@ -237,7 +248,13 @@ type tableau struct {
 	colOf   []int     // problem var -> structural column (-1 if eliminated)
 	rowName []string
 	iters   int
+	ctx     context.Context // optional cancellation, checked every ctxCheckEvery pivots
 }
+
+// ctxCheckEvery is the pivot interval between cancellation checks: small
+// enough that cancellation lands within a handful of dense-row pivots,
+// large enough that the select never shows up in profiles.
+const ctxCheckEvery = 64
 
 // buildTableau converts the problem to equational standard form.
 // Variables with Lower==Upper are eliminated (substituted). All other
@@ -506,6 +523,13 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 	for {
 		if t.iters > maxPivot {
 			return 0, ErrIterationLimit
+		}
+		if t.ctx != nil && t.iters%ctxCheckEvery == 0 {
+			select {
+			case <-t.ctx.Done():
+				return 0, t.ctx.Err()
+			default:
+			}
 		}
 		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. In tableau form the
 		// price row is sum over rows of c_basis * a[row][:], accumulated

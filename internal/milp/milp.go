@@ -8,12 +8,14 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"pathdriverwash/internal/lp"
+	"pathdriverwash/internal/solve"
 )
 
 // Problem is a linear program plus integrality marks.
@@ -83,9 +85,18 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// DefaultTimeLimit is the wall-clock cap applied when Options.TimeLimit
+// is zero. A zero TimeLimit never means "unbounded": branch & bound on
+// this solver is exponential in the worst case, so an explicit default
+// keeps zero-value solves from hanging.
+const DefaultTimeLimit = 30 * time.Second
+
 // Options tunes the branch & bound search.
 type Options struct {
-	// TimeLimit caps wall-clock search time; 0 means 30 s.
+	// TimeLimit caps wall-clock search time. The zero value silently
+	// selects DefaultTimeLimit (30 s); it does NOT mean unbounded. When
+	// the caller's context carries an earlier deadline, that deadline
+	// wins regardless of TimeLimit.
 	TimeLimit time.Duration
 	// MaxNodes caps explored nodes; 0 means 200000.
 	MaxNodes int
@@ -104,6 +115,16 @@ type Result struct {
 	Bound float64
 	// Nodes is the number of explored branch & bound nodes.
 	Nodes int
+	// Pruned counts subproblems discarded by the incumbent bound
+	// without an LP solve.
+	Pruned int
+	// SimplexIters sums simplex pivots over all node relaxations.
+	SimplexIters int
+	// Incumbents is the incumbent trajectory: one entry per improving
+	// feasible solution, in discovery order.
+	Incumbents []solve.Incumbent
+	// Wall is the solve's wall-clock time.
+	Wall time.Duration
 }
 
 // Gap returns the relative optimality gap of the incumbent, or +inf if
@@ -153,31 +174,67 @@ func (q *nodeQueue) Pop() any {
 	return it
 }
 
-// Solve runs branch & bound.
+// Solve runs branch & bound without external cancellation; see
+// SolveContext for the context-aware form.
 func Solve(p *Problem, opts Options) (Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs branch & bound under ctx. The effective deadline is
+// the earlier of ctx's deadline and Options.TimeLimit (zero TimeLimit:
+// DefaultTimeLimit). Cancellation and deadline expiry are never errors:
+// the search stops promptly — mid-relaxation included — and returns the
+// best feasible incumbent (Status Feasible), or Status Limit when none
+// was found yet.
+func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error) {
+	start := time.Now()
 	if len(p.Integer) != p.LP.NumVars {
 		return Result{}, fmt.Errorf("milp: Integer has %d marks for %d variables", len(p.Integer), p.LP.NumVars)
 	}
 	limit := opts.TimeLimit
 	if limit <= 0 {
-		limit = 30 * time.Second
+		limit = DefaultTimeLimit
 	}
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 200000
 	}
-	deadline := time.Now().Add(limit)
+	deadline := start.Add(limit)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	// The effective deadline is carried as a context so node relaxations
+	// stop mid-pivot-loop too, not just between nodes.
+	dctx, stop := context.WithDeadline(ctx, deadline)
+	defer stop()
+	canceled := func() bool {
+		select {
+		case <-dctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 
 	var haveInc bool
 	var incX []float64
+	var trajectory []solve.Incumbent
+	simplexIters := 0
+	pruned := 0
 	incObj := math.Inf(1)
+	record := func(obj float64, nodes int) {
+		trajectory = append(trajectory, solve.Incumbent{
+			Obj: obj, Node: nodes, Elapsed: time.Since(start),
+		})
+	}
 	if opts.Incumbent != nil {
 		if err := p.CheckFeasible(opts.Incumbent); err != nil {
-			return Result{}, fmt.Errorf("milp: provided incumbent is infeasible: %w", err)
+			return Result{}, fmt.Errorf("milp: provided incumbent is %w: %w", solve.ErrInfeasible, err)
 		}
 		incX = append([]float64(nil), opts.Incumbent...)
 		incObj = p.objOf(incX)
 		haveInc = true
+		record(incObj, 0)
 	}
 
 	solveNode := func(n *node) (lp.Result, error) {
@@ -200,7 +257,7 @@ func Solve(p *Problem, opts Options) (Result, error) {
 			}
 		}
 		sub.Lower, sub.Upper = lo, hi
-		return lp.Solve(&sub)
+		return lp.SolveContext(dctx, &sub)
 	}
 
 	root := &node{bound: math.Inf(-1), fixLo: map[int]float64{}, fixHi: map[int]float64{}, branch: -1}
@@ -212,17 +269,20 @@ func Solve(p *Problem, opts Options) (Result, error) {
 	hitLimit := false
 
 	for queue.Len() > 0 {
-		if nodes >= maxNodes || time.Now().After(deadline) {
+		if nodes >= maxNodes || canceled() || time.Now().After(deadline) {
 			hitLimit = true
 			break
 		}
 		n := heap.Pop(queue).(*node)
 		if haveInc && n.bound >= incObj-1e-9 {
+			pruned++
 			continue // pruned by bound
 		}
 		res, err := solveNode(n)
+		simplexIters += res.Iterations
 		if err != nil {
-			if errors.Is(err, lp.ErrIterationLimit) {
+			if errors.Is(err, lp.ErrIterationLimit) ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				hitLimit = true
 				break
 			}
@@ -242,6 +302,7 @@ func Solve(p *Problem, opts Options) (Result, error) {
 			continue
 		}
 		if haveInc && res.Obj >= incObj-1e-9 {
+			pruned++
 			continue
 		}
 		frac := p.mostFractional(res.X)
@@ -251,6 +312,7 @@ func Solve(p *Problem, opts Options) (Result, error) {
 				incX = roundIntegers(p, res.X)
 				incObj = p.objOf(incX)
 				haveInc = true
+				record(incObj, nodes)
 			}
 			continue
 		}
@@ -276,16 +338,24 @@ func Solve(p *Problem, opts Options) (Result, error) {
 			bestBound = n.bound
 		}
 	}
+	out := Result{
+		Nodes: nodes, Pruned: pruned, SimplexIters: simplexIters,
+		Incumbents: trajectory, Wall: time.Since(start),
+	}
 	if !hitLimit && queue.Len() == 0 {
 		if !haveInc {
-			return Result{Status: Infeasible, Nodes: nodes}, nil
+			out.Status = Infeasible
+			return out, nil
 		}
-		return Result{Status: Optimal, X: incX, Obj: incObj, Bound: incObj, Nodes: nodes}, nil
+		out.Status, out.X, out.Obj, out.Bound = Optimal, incX, incObj, incObj
+		return out, nil
 	}
 	if haveInc {
-		return Result{Status: Feasible, X: incX, Obj: incObj, Bound: bestBound, Nodes: nodes}, nil
+		out.Status, out.X, out.Obj, out.Bound = Feasible, incX, incObj, bestBound
+		return out, nil
 	}
-	return Result{Status: Limit, Nodes: nodes, Bound: bestBound}, nil
+	out.Status, out.Bound = Limit, bestBound
+	return out, nil
 }
 
 func padded(s []float64, n int, def float64) []float64 {

@@ -26,8 +26,8 @@
 package pdw
 
 import (
+	"context"
 	"fmt"
-
 	"time"
 
 	"pathdriverwash/internal/contam"
@@ -36,6 +36,7 @@ import (
 	"pathdriverwash/internal/grid"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/washpath"
 )
 
@@ -46,9 +47,22 @@ type Options struct {
 	// Alpha, Beta, Gamma weight Eq. 26 (defaults 0.3, 0.3, 0.4).
 	Alpha, Beta, Gamma float64
 
+	// Budget bounds the run: Budget.Total sets a wall-clock deadline
+	// for the whole pipeline (enforced through the context, degrading
+	// every later phase to its incumbent on expiry), Budget.PerPath and
+	// Budget.Window cap the inner ILPs. Budget fields win over the
+	// deprecated per-phase fields below.
+	Budget solve.Budget
+
 	// PathTimeLimit bounds each wash-path ILP (default 3 s).
+	//
+	// Deprecated: alias of Budget.PerPath, kept for callers of the
+	// pre-Budget API.
 	PathTimeLimit time.Duration
 	// WindowTimeLimit bounds the time-window MILP (default 10 s).
+	//
+	// Deprecated: alias of Budget.Window, kept for callers of the
+	// pre-Budget API.
 	WindowTimeLimit time.Duration
 	// MergeRadius is the Manhattan distance under which wash groups are
 	// merged into one path (default 4).
@@ -74,12 +88,8 @@ func (o Options) withDefaults() Options {
 	if o.Alpha == 0 && o.Beta == 0 && o.Gamma == 0 {
 		o.Alpha, o.Beta, o.Gamma = 0.3, 0.3, 0.4
 	}
-	if o.PathTimeLimit <= 0 {
-		o.PathTimeLimit = 3 * time.Second
-	}
-	if o.WindowTimeLimit <= 0 {
-		o.WindowTimeLimit = 10 * time.Second
-	}
+	o.PathTimeLimit = solve.Or(o.Budget.PerPath, o.PathTimeLimit, 3*time.Second)
+	o.WindowTimeLimit = solve.Or(o.Budget.Window, o.WindowTimeLimit, 10*time.Second)
 	if o.MergeRadius <= 0 {
 		o.MergeRadius = 4
 	}
@@ -108,16 +118,34 @@ type Result struct {
 	// contamination events each Type 1/2/3 rule excused from washing
 	// (Sec. II-A's central observation).
 	Skips map[contam.SkipReason]int
+	// Stats is the structured solve telemetry: phase wall times, every
+	// ILP's size and branch & bound effort, incumbent trajectories, and
+	// the skip counts above keyed by rule name.
+	Stats *solve.Stats
 }
 
-// Optimize runs PDW on a wash-free base schedule.
+// Optimize runs PDW on a wash-free base schedule; see OptimizeContext.
 func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), base, opts)
+}
+
+// OptimizeContext runs PDW under ctx. Cancellation (or expiry of the
+// ctx deadline / Options.Budget.Total) never aborts with an error once
+// the pipeline is running: the remaining wash paths degrade to the BFS
+// heuristic, the time-window MILP returns its greedy warm-start
+// incumbent, and the result is the best feasible (clean, valid)
+// schedule reached — with Stats.Canceled set so callers can tell.
+func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	ctx, stop := opts.Budget.Context(ctx)
+	defer stop()
+	stats := &solve.Stats{}
 	pol := contam.Policy{}
 	if opts.DisableNecessity {
 		pol = contam.Policy{IgnoreFluidTypes: true}
 	}
 
+	endInsertion := stats.StartPhase("wash-insertion")
 	cur := base
 	var washes []replan.WashSpec
 	integrated := map[string]bool{}
@@ -139,7 +167,7 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			groups = contam.MergeGroups(groups, opts.MergeRadius)
 		}
 		for _, g := range groups {
-			specs, err := buildWashSpecs(cur, g, &washes, integrated, opts)
+			specs, err := buildWashSpecs(ctx, cur, g, &washes, integrated, opts, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -154,14 +182,17 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	endInsertion()
 	if rounds == opts.MaxRounds {
-		return nil, fmt.Errorf("pdw: wash insertion did not converge in %d rounds", rounds)
+		return nil, fmt.Errorf("pdw: wash insertion did not converge in %d rounds: %w",
+			rounds, solve.ErrBudgetExceeded)
 	}
 
-	res := &Result{Washes: washes, Rounds: rounds, Skips: firstSkips}
+	res := &Result{Washes: washes, Rounds: rounds, Skips: firstSkips, Stats: stats}
 	for _, w := range washes {
 		res.IntegratedRemovals += len(w.Integrates)
 	}
+	stats.SetSkips(skipNames(firstSkips))
 
 	// Final time-window optimization (Eqs. 16-22 with disjunctions).
 	plan, err := replan.Build(base, washes)
@@ -174,7 +205,9 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 	}
 	final := greedy
 	if !opts.HeuristicWindows && len(washes) > 0 {
-		optimized, optimal, err := optimizeWindows(plan, greedy, opts.WindowTimeLimit)
+		endWindows := stats.StartPhase("window-milp")
+		optimized, optimal, err := optimizeWindows(ctx, plan, greedy, opts.WindowTimeLimit, stats)
+		endWindows()
 		if err == nil && optimized != nil {
 			if contam.Verify(optimized) == nil {
 				final = optimized
@@ -182,16 +215,34 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			}
 		}
 	}
+	endVerify := stats.StartPhase("verify")
 	if err := final.Validate(); err != nil {
 		return nil, fmt.Errorf("pdw: final schedule invalid: %w", err)
 	}
 	if err := contam.Verify(final); err != nil {
 		return nil, fmt.Errorf("pdw: final schedule not clean: %w", err)
 	}
+	endVerify()
+	if ctx.Err() != nil {
+		stats.MarkCanceled()
+	}
 	res.Schedule = final
 	m := final.ComputeMetrics(base)
 	res.Objective = opts.Alpha*float64(m.NWash) + opts.Beta*m.LWashMM + opts.Gamma*float64(m.TAssay)
 	return res, nil
+}
+
+// skipNames converts the typed skip counters to the string keys the
+// solve.Stats trace carries.
+func skipNames(skips map[contam.SkipReason]int) map[string]int {
+	if skips == nil {
+		return nil
+	}
+	out := make(map[string]int, len(skips))
+	for r, n := range skips {
+		out[r.String()] = n
+	}
+	return out
 }
 
 // buildWashSpecs turns one demand group into wash specs. Paths are
@@ -201,11 +252,11 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 // extending the path to cover them keeps a single path and adds at most
 // a couple of cells. Anything costlier would *increase* N_wash/L_wash —
 // the opposite of what Sec. II-B's integration is for.
-func buildWashSpecs(cur *schedule.Schedule, g contam.Group,
-	existing *[]replan.WashSpec, integrated map[string]bool, opts Options) ([]replan.WashSpec, error) {
+func buildWashSpecs(ctx context.Context, cur *schedule.Schedule, g contam.Group,
+	existing *[]replan.WashSpec, integrated map[string]bool, opts Options, stats *solve.Stats) ([]replan.WashSpec, error) {
 
-	wopts := washpath.Options{Exact: !opts.HeuristicPaths, TimeLimit: opts.PathTimeLimit}
-	plans, covered, err := washpath.BuildCover(cur.Chip, g.Targets, wopts)
+	wopts := washpath.Options{Exact: !opts.HeuristicPaths, TimeLimit: opts.PathTimeLimit, Trace: stats}
+	plans, covered, err := washpath.BuildCoverContext(ctx, cur.Chip, g.Targets, wopts)
 	if err != nil {
 		return nil, fmt.Errorf("pdw: wash path for %v: %w", g.Targets, err)
 	}
@@ -257,7 +308,7 @@ func buildWashSpecs(cur *schedule.Schedule, g contam.Group,
 				// Try extending the path; accept a single slightly
 				// longer path only.
 				extended := append(append([]geom.Point(nil), st.spec.Targets...), rm.ExcessCells...)
-				newPlans, newCovered, err := washpath.BuildCover(cur.Chip, extended, wopts)
+				newPlans, newCovered, err := washpath.BuildCoverContext(ctx, cur.Chip, extended, wopts)
 				if err != nil || len(newPlans) != 1 {
 					continue
 				}

@@ -1,6 +1,7 @@
 package pdw
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"pathdriverwash/internal/milp"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 )
 
 // optimizeWindows solves the time-window MILP of Eqs. (1)-(8), (16)-(22):
@@ -20,7 +22,7 @@ import (
 // Pairs whose flip could reorder contamination relative to the greedy
 // analysis (a wash versus a task touching its target cells) are fixed to
 // the greedy order; see DESIGN.md for the safety argument.
-func optimizeWindows(plan *replan.Plan, greedy *schedule.Schedule, limit time.Duration) (*schedule.Schedule, bool, error) {
+func optimizeWindows(ctx context.Context, plan *replan.Plan, greedy *schedule.Schedule, limit time.Duration, stats *solve.Stats) (*schedule.Schedule, bool, error) {
 	n := len(plan.Tasks)
 	horizon := greedy.Makespan()
 	if horizon <= 0 {
@@ -103,12 +105,29 @@ func optimizeWindows(plan *replan.Plan, greedy *schedule.Schedule, limit time.Du
 		}
 	}
 
-	res, err := milp.Solve(prob, milp.Options{TimeLimit: limit, Incumbent: inc})
+	res, err := milp.SolveContext(ctx, prob, milp.Options{TimeLimit: limit, Incumbent: inc})
 	if err != nil {
 		return nil, false, err
 	}
+	intVars := 0
+	for _, isInt := range prob.Integer {
+		if isInt {
+			intVars++
+		}
+	}
+	stats.AddMILP(solve.MILPStat{
+		Label: "window-milp",
+		Vars:  prob.LP.NumVars, IntVars: intVars,
+		Constraints: len(prob.LP.Constraints),
+		Nodes:       res.Nodes, Pruned: res.Pruned, SimplexIters: res.SimplexIters,
+		Status: res.Status.String(), Optimal: res.Status == milp.Optimal,
+		Wall: res.Wall, Incumbents: res.Incumbents,
+	})
+	if res.Status == milp.Infeasible {
+		return nil, false, fmt.Errorf("pdw: window MILP %w", solve.ErrInfeasible)
+	}
 	if res.Status != milp.Optimal && res.Status != milp.Feasible {
-		return nil, false, fmt.Errorf("pdw: window MILP status %v", res.Status)
+		return nil, false, fmt.Errorf("pdw: window MILP status %v: %w", res.Status, solve.ErrBudgetExceeded)
 	}
 	out := make([]int, n)
 	for i := range plan.Tasks {
@@ -131,6 +150,12 @@ func optimizeWindows(plan *replan.Plan, greedy *schedule.Schedule, limit time.Du
 // are measured; without it, PDW's ILP could look faster than the
 // greedy-scheduled input and report negative wash delay.
 func CompressBase(base *schedule.Schedule, limit time.Duration) (*schedule.Schedule, error) {
+	return CompressBaseContext(context.Background(), base, limit)
+}
+
+// CompressBaseContext is CompressBase under a context; a canceled ctx
+// falls back to the greedy schedule (never an error).
+func CompressBaseContext(ctx context.Context, base *schedule.Schedule, limit time.Duration) (*schedule.Schedule, error) {
 	plan, err := replan.Build(base, nil)
 	if err != nil {
 		return nil, err
@@ -139,7 +164,7 @@ func CompressBase(base *schedule.Schedule, limit time.Duration) (*schedule.Sched
 	if err != nil {
 		return nil, err
 	}
-	optimized, _, err := optimizeWindows(plan, greedy, limit)
+	optimized, _, err := optimizeWindows(ctx, plan, greedy, limit, nil)
 	if err != nil || optimized == nil {
 		return greedy, nil
 	}

@@ -1,6 +1,7 @@
 package pdw
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -45,7 +46,7 @@ func TestOptimizeWindowsMatchesGreedyOrBetter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	optimized, _, err := optimizeWindows(plan, greedy, 5*time.Second)
+	optimized, _, err := optimizeWindows(context.Background(), plan, greedy, 5*time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestOptimizeWindowsRejectsEmptyPlan(t *testing.T) {
 	// An empty greedy schedule has makespan 0; optimizeWindows must
 	// refuse rather than divide the horizon.
 	plan := &replan.Plan{}
-	if _, _, err := optimizeWindows(plan, schedule.New(c, nil), time.Second); err == nil {
+	if _, _, err := optimizeWindows(context.Background(), plan, schedule.New(c, nil), time.Second, nil); err == nil {
 		t.Fatal("expected error for empty plan")
 	}
 }

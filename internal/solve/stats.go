@@ -1,0 +1,196 @@
+package solve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Incumbent is one point of a branch & bound incumbent trajectory: a new
+// best feasible solution found Elapsed into the solve at node Node.
+type Incumbent struct {
+	Obj     float64
+	Node    int
+	Elapsed time.Duration
+}
+
+// MILPStat describes one ILP/MILP solve: its size, the branch & bound
+// work it did, and how it ended.
+type MILPStat struct {
+	// Label identifies the solve ("wash-path w3", "window-milp", ...).
+	Label string
+	// Vars / IntVars / Constraints give the model size.
+	Vars, IntVars, Constraints int
+	// Nodes and Pruned count branch & bound subproblems explored and
+	// discarded by bound; SimplexIters sums LP pivots across all node
+	// relaxations.
+	Nodes, Pruned, SimplexIters int
+	// Status is the solver's final status string.
+	Status string
+	// Optimal reports a proven optimum (false: best-effort incumbent).
+	Optimal bool
+	// Wall is the solve's wall-clock time.
+	Wall time.Duration
+	// Incumbents is the incumbent trajectory of the solve.
+	Incumbents []Incumbent
+}
+
+// PhaseStat is the wall time of one pipeline phase.
+type PhaseStat struct {
+	Name string
+	Wall time.Duration
+}
+
+// Stats is the structured telemetry of one optimizer run, threaded
+// through the solve call path. All methods are safe for concurrent use
+// and tolerate a nil receiver, so call sites never need to guard.
+type Stats struct {
+	mu sync.Mutex
+	// Phases are the pipeline phases in execution order.
+	Phases []PhaseStat
+	// MILPs are the ILP solves, in execution order.
+	MILPs []MILPStat
+	// Skips counts contamination events excused per Type 1/2/3 rule
+	// (keys "type1-unused", "type2-same-fluid", "type3-waste-only",
+	// "wash-needed").
+	Skips map[string]int
+	// Canceled reports that the run's context was canceled or its
+	// deadline expired and later phases degraded to incumbents.
+	Canceled bool
+}
+
+// StartPhase opens a named phase and returns the closer that records
+// its wall time. Usage: defer s.StartPhase("window-milp")().
+func (s *Stats) StartPhase(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.Phases = append(s.Phases, PhaseStat{Name: name, Wall: time.Since(t0)})
+	}
+}
+
+// AddMILP appends one ILP solve record.
+func (s *Stats) AddMILP(m MILPStat) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.MILPs = append(s.MILPs, m)
+}
+
+// SetSkips records the wash-necessity skip counts.
+func (s *Stats) SetSkips(skips map[string]int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Skips = skips
+}
+
+// MarkCanceled flags the run as budget-expired.
+func (s *Stats) MarkCanceled() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Canceled = true
+}
+
+// Nodes sums explored branch & bound nodes over all ILP solves.
+func (s *Stats) Nodes() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.MILPs {
+		n += m.Nodes
+	}
+	return n
+}
+
+// Pruned sums bound-pruned subproblems over all ILP solves.
+func (s *Stats) Pruned() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.MILPs {
+		n += m.Pruned
+	}
+	return n
+}
+
+// SimplexIters sums simplex pivots over all ILP solves.
+func (s *Stats) SimplexIters() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.MILPs {
+		n += m.SimplexIters
+	}
+	return n
+}
+
+// Summary renders the trace as an indented human-readable block, the
+// format cmd/pdw -stats and cmd/pdwbench print.
+func (s *Stats) Summary() string {
+	if s == nil {
+		return "  (no stats recorded)"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "  phase %-16s %8.1fms\n", p.Name, p.Wall.Seconds()*1e3)
+	}
+	if len(s.Skips) > 0 {
+		keys := make([]string, 0, len(s.Skips))
+		for k := range s.Skips {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  necessity skips:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, s.Skips[k])
+		}
+		b.WriteByte('\n')
+	}
+	nodes, pruned, iters := 0, 0, 0
+	for _, m := range s.MILPs {
+		nodes += m.Nodes
+		pruned += m.Pruned
+		iters += m.SimplexIters
+	}
+	fmt.Fprintf(&b, "  ILP solves: %d (B&B nodes %d explored / %d pruned, %d simplex pivots)\n",
+		len(s.MILPs), nodes, pruned, iters)
+	for _, m := range s.MILPs {
+		fmt.Fprintf(&b, "    %-18s %4dv/%3di/%4dc  nodes %5d  %-15s %7.1fms",
+			m.Label, m.Vars, m.IntVars, m.Constraints, m.Nodes, m.Status, m.Wall.Seconds()*1e3)
+		if len(m.Incumbents) > 0 {
+			last := m.Incumbents[len(m.Incumbents)-1]
+			fmt.Fprintf(&b, "  incumbents %d (best %.2f @%dms)",
+				len(m.Incumbents), last.Obj, last.Elapsed.Milliseconds())
+		}
+		b.WriteByte('\n')
+	}
+	if s.Canceled {
+		b.WriteString("  budget expired: later phases degraded to incumbents\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

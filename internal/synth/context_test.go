@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/solve"
+)
+
+func mixAssay(t *testing.T) *assay.Assay {
+	t.Helper()
+	a := assay.New("ctx-fx")
+	a.MustAddOp(&assay.Operation{ID: "o1", Kind: assay.Mix, Duration: 2, Output: "f1",
+		Reagents: []assay.FluidType{"r1", "r2"}})
+	return a
+}
+
+func TestSynthesizeContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SynthesizeContext(ctx, mixAssay(t), Config{})
+	if !errors.Is(err, solve.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestSynthesizeContextCompletes(t *testing.T) {
+	res, err := SynthesizeContext(context.Background(), mixAssay(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || res.Chip == nil {
+		t.Fatal("incomplete result")
+	}
+}
+
+func TestInvalidAssayIsSentinel(t *testing.T) {
+	_, err := Synthesize(assay.New("empty"), Config{})
+	if !errors.Is(err, solve.ErrInvalidAssay) {
+		t.Fatalf("err = %v, want ErrInvalidAssay", err)
+	}
+}
+
+func TestMissingDeviceIsInfeasible(t *testing.T) {
+	_, err := Synthesize(mixAssay(t), Config{
+		Devices: []DeviceSpec{{Kind: grid.Heater, Count: 1}},
+	})
+	if !errors.Is(err, solve.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible (no mixer in the library)", err)
+	}
+}

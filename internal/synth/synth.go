@@ -23,6 +23,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,7 @@ import (
 	"pathdriverwash/internal/grid"
 	"pathdriverwash/internal/route"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 )
 
 // DeviceSpec requests Count devices of the given kind in the library.
@@ -74,8 +76,21 @@ const (
 
 // Synthesize builds a chip and a wash-free schedule for the assay.
 func Synthesize(a *assay.Assay, cfg Config) (*Result, error) {
+	return SynthesizeContext(context.Background(), a, cfg)
+}
+
+// SynthesizeContext is Synthesize under a context. Synthesis is a fast
+// deterministic construction with no meaningful partial result (a
+// half-scheduled assay is not feasible), so a context that is already
+// done at entry aborts with ErrBudgetExceeded, while a cancellation
+// arriving mid-run lets the construction finish: its complete output is
+// the best — and only — feasible incumbent.
+func SynthesizeContext(ctx context.Context, a *assay.Assay, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
+	}
 	if err := a.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("synth: %w: %w", solve.ErrInvalidAssay, err)
 	}
 	specs := cfg.Devices
 	if specs == nil {
@@ -115,8 +130,17 @@ func Synthesize(a *assay.Assay, cfg Config) (*Result, error) {
 // chip architecture (e.g. the paper's hand-drawn Fig. 2(a) layout)
 // instead of generating one.
 func SynthesizeOnChip(a *assay.Assay, chip *grid.Chip) (*Result, error) {
+	return SynthesizeOnChipContext(context.Background(), a, chip)
+}
+
+// SynthesizeOnChipContext is SynthesizeOnChip under a context, with the
+// same entry-only cancellation contract as SynthesizeContext.
+func SynthesizeOnChipContext(ctx context.Context, a *assay.Assay, chip *grid.Chip) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
+	}
 	if err := a.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("synth: %w: %w", solve.ErrInvalidAssay, err)
 	}
 	if err := chip.Validate(); err != nil {
 		return nil, err
@@ -142,7 +166,8 @@ func checkLibrary(a *assay.Assay, specs []DeviceSpec) error {
 	}
 	for _, k := range a.DeviceKindsNeeded() {
 		if have[k] == 0 {
-			return fmt.Errorf("synth: assay %q needs a %s but the library has none", a.Name, k)
+			return fmt.Errorf("synth: assay %q needs a %s but the library has none: %w",
+				a.Name, k, solve.ErrInfeasible)
 		}
 	}
 	return nil
@@ -288,7 +313,7 @@ func bind(a *assay.Assay, chip *grid.Chip) (map[string]*grid.Device, error) {
 		kind := assay.DeviceKindFor(op.Kind)
 		cands := byKind[kind]
 		if len(cands) == 0 {
-			return nil, fmt.Errorf("synth: no %s device for op %s", kind, id)
+			return nil, fmt.Errorf("synth: no %s device for op %s: %w", kind, id, solve.ErrInfeasible)
 		}
 		best := cands[0]
 		for _, d := range cands[1:] {

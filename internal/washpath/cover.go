@@ -1,6 +1,7 @@
 package washpath
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,13 +10,20 @@ import (
 )
 
 // BuildCover constructs one or more wash paths that together cover all
-// targets. It first tries a single path (ILP or heuristic per opts);
-// when the target set cannot be served by one simple path — e.g. a
-// channel chain with a device block hanging off it — the set is split
-// into device blocks and channel components, each washed separately.
-// Returns the plans and the target subset each plan covers.
+// targets; see BuildCoverContext.
 func BuildCover(chip *grid.Chip, targets []geom.Point, opts Options) ([]Plan, [][]geom.Point, error) {
-	plan, err := Build(chip, Request{Targets: targets}, opts)
+	return BuildCoverContext(context.Background(), chip, targets, opts)
+}
+
+// BuildCoverContext constructs one or more wash paths that together
+// cover all targets. It first tries a single path (ILP or heuristic per
+// opts); when the target set cannot be served by one simple path — e.g.
+// a channel chain with a device block hanging off it — the set is split
+// into device blocks and channel components, each washed separately.
+// Returns the plans and the target subset each plan covers. A canceled
+// ctx degrades exact-mode paths to the BFS heuristic (see BuildContext).
+func BuildCoverContext(ctx context.Context, chip *grid.Chip, targets []geom.Point, opts Options) ([]Plan, [][]geom.Point, error) {
+	plan, err := BuildContext(ctx, chip, Request{Targets: targets}, opts)
 	if err == nil {
 		return []Plan{plan}, [][]geom.Point{targets}, nil
 	}
@@ -32,7 +40,7 @@ func BuildCover(chip *grid.Chip, targets []geom.Point, opts Options) ([]Plan, []
 	var plans []Plan
 	var covered [][]geom.Point
 	for _, part := range parts {
-		p, perr := Build(chip, Request{Targets: part}, opts)
+		p, perr := BuildContext(ctx, chip, Request{Targets: part}, opts)
 		if perr != nil {
 			// Last resort: break the part into chains.
 			chains := chainDecompose(part)
@@ -40,7 +48,7 @@ func BuildCover(chip *grid.Chip, targets []geom.Point, opts Options) ([]Plan, []
 				return nil, nil, fmt.Errorf("washpath: cannot cover split part %v: %w", part, perr)
 			}
 			for _, ch := range chains {
-				cp, cerr := Build(chip, Request{Targets: ch}, opts)
+				cp, cerr := BuildContext(ctx, chip, Request{Targets: ch}, opts)
 				if cerr != nil {
 					return nil, nil, fmt.Errorf("washpath: cannot cover chain %v: %w", ch, cerr)
 				}

@@ -25,6 +25,7 @@
 package washpath
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"pathdriverwash/internal/lp"
 	"pathdriverwash/internal/milp"
 	"pathdriverwash/internal/route"
+	"pathdriverwash/internal/solve"
 )
 
 // Request asks for one wash path.
@@ -53,6 +55,9 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxCuts bounds lazy connectivity rounds (default 20).
 	MaxCuts int
+	// Trace optionally records each path ILP's size and search effort;
+	// nil disables recording.
+	Trace *solve.Stats
 }
 
 // Plan is a constructed wash path.
@@ -68,6 +73,13 @@ type Plan struct {
 
 // Build constructs a wash path for the request.
 func Build(chip *grid.Chip, req Request, opts Options) (Plan, error) {
+	return BuildContext(context.Background(), chip, req, opts)
+}
+
+// BuildContext is Build under a context: a canceled or expired ctx
+// degrades the exact mode to the BFS heuristic (the same fallback used
+// when the ILP time limit expires) instead of failing.
+func BuildContext(ctx context.Context, chip *grid.Chip, req Request, opts Options) (Plan, error) {
 	if len(req.Targets) == 0 {
 		return Plan{}, fmt.Errorf("washpath: no targets")
 	}
@@ -83,7 +95,7 @@ func Build(chip *grid.Chip, req Request, opts Options) (Plan, error) {
 	if !opts.Exact {
 		return heur, heurErr
 	}
-	plan, err := buildILP(chip, req, opts, heur, heurErr == nil)
+	plan, err := buildILP(ctx, chip, req, opts, heur, heurErr == nil)
 	if err != nil {
 		if heurErr == nil {
 			return heur, nil
@@ -214,7 +226,7 @@ func ChainOrder(targets []geom.Point) ([]geom.Point, error) {
 }
 
 // buildILP solves the Eqs. 12-15 formulation with lazy connectivity cuts.
-func buildILP(chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bool) (Plan, error) {
+func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bool) (Plan, error) {
 	tl := opts.TimeLimit
 	if tl <= 0 {
 		tl = 5 * time.Second
@@ -233,16 +245,27 @@ func buildILP(chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bo
 	var extraCuts []map[int]float64
 	for round := 0; round <= maxCuts; round++ {
 		remain := time.Until(deadline)
-		if remain <= 0 {
-			return Plan{}, fmt.Errorf("washpath: time limit during cut round %d", round)
+		if remain <= 0 || ctx.Err() != nil {
+			return Plan{}, fmt.Errorf("washpath: %w during cut round %d", solve.ErrBudgetExceeded, round)
 		}
 		prob := m.problem(extraCuts)
-		res, err := milp.Solve(prob, milp.Options{TimeLimit: remain})
+		res, err := milp.SolveContext(ctx, prob, milp.Options{TimeLimit: remain})
 		if err != nil {
 			return Plan{}, err
 		}
+		opts.Trace.AddMILP(solve.MILPStat{
+			Label: fmt.Sprintf("wash-path[%dt r%d]", len(req.Targets), round),
+			Vars:  prob.LP.NumVars, IntVars: prob.LP.NumVars,
+			Constraints: len(prob.LP.Constraints),
+			Nodes:       res.Nodes, Pruned: res.Pruned, SimplexIters: res.SimplexIters,
+			Status: res.Status.String(), Optimal: res.Status == milp.Optimal,
+			Wall: res.Wall, Incumbents: res.Incumbents,
+		})
+		if res.Status == milp.Infeasible {
+			return Plan{}, fmt.Errorf("washpath: ILP %w", solve.ErrInfeasible)
+		}
 		if res.Status != milp.Optimal && res.Status != milp.Feasible {
-			return Plan{}, fmt.Errorf("washpath: ILP status %v", res.Status)
+			return Plan{}, fmt.Errorf("washpath: ILP status %v: %w", res.Status, solve.ErrBudgetExceeded)
 		}
 		plan, cut := m.extract(res.X)
 		if cut != nil {
@@ -259,7 +282,7 @@ func buildILP(chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bo
 		plan.Exact = true
 		return plan, nil
 	}
-	return Plan{}, fmt.Errorf("washpath: connectivity cuts did not converge in %d rounds", maxCuts)
+	return Plan{}, fmt.Errorf("washpath: connectivity cuts did not converge in %d rounds: %w", maxCuts, solve.ErrBudgetExceeded)
 }
 
 // model holds the variable layout of the path ILP.

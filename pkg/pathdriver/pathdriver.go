@@ -18,6 +18,7 @@
 package pathdriver
 
 import (
+	"context"
 	"time"
 
 	"pathdriverwash/internal/assay"
@@ -29,7 +30,40 @@ import (
 	"pathdriverwash/internal/grid"
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/synth"
+)
+
+// Budgets, cancellation, and telemetry re-exports.
+type (
+	// Budget bounds a solve: Total is the end-to-end deadline applied as
+	// a context deadline; PerPath and Window cap the wash-path ILPs and
+	// the time-window MILP. It replaces the scattered per-phase
+	// PathTimeLimit / WindowTimeLimit / TimeLimit options, which remain
+	// as deprecated aliases.
+	Budget = solve.Budget
+	// SolveStats is the structured telemetry attached to PDWResult and
+	// DAWOResult: per-phase wall times, branch-and-bound node and pruning
+	// counts, simplex iterations, the incumbent trajectory, wash-path ILP
+	// sizes, and Type 1/2/3 skip counts.
+	SolveStats = solve.Stats
+	// MILPStat describes one MILP solved during optimization.
+	MILPStat = solve.MILPStat
+)
+
+// Sentinel errors, matchable with errors.Is through every layer's
+// wrapping.
+var (
+	// ErrInfeasible marks a model with no feasible point (an impossible
+	// wash-path cover, an infeasible window MILP, an unsatisfiable device
+	// library).
+	ErrInfeasible = solve.ErrInfeasible
+	// ErrBudgetExceeded marks a solve aborted by a Budget, TimeLimit, or
+	// context deadline before reaching a usable answer. Optimizers that
+	// hold a feasible incumbent degrade to it instead of returning this.
+	ErrBudgetExceeded = solve.ErrBudgetExceeded
+	// ErrInvalidAssay marks a protocol that fails validation.
+	ErrInvalidAssay = solve.ErrInvalidAssay
 )
 
 // Assay modelling re-exports.
@@ -138,9 +172,22 @@ func Synthesize(a *Assay, cfg SynthConfig) (*SynthResult, error) {
 	return synth.Synthesize(a, cfg)
 }
 
+// SynthesizeContext is Synthesize under a context: a context that is
+// already done aborts with ErrBudgetExceeded; synthesis otherwise runs
+// to completion (it is fast and has no usable partial result).
+func SynthesizeContext(ctx context.Context, a *Assay, cfg SynthConfig) (*SynthResult, error) {
+	return synth.SynthesizeContext(ctx, a, cfg)
+}
+
 // SynthesizeOnChip schedules the assay on a caller-provided chip.
 func SynthesizeOnChip(a *Assay, c *Chip) (*SynthResult, error) {
 	return synth.SynthesizeOnChip(a, c)
+}
+
+// SynthesizeOnChipContext is SynthesizeOnChip under a context, with the
+// same contract as SynthesizeContext.
+func SynthesizeOnChipContext(ctx context.Context, a *Assay, c *Chip) (*SynthResult, error) {
+	return synth.SynthesizeOnChipContext(ctx, a, c)
 }
 
 // OptimizeWash runs PathDriver-Wash on a wash-free schedule.
@@ -148,15 +195,36 @@ func OptimizeWash(base *Schedule, opts PDWOptions) (*PDWResult, error) {
 	return pdw.Optimize(base, opts)
 }
 
+// OptimizeWashContext is OptimizeWash under a context. Cancellation (or
+// expiry of opts.Budget.Total) degrades gracefully: remaining exact
+// searches fall back to their heuristic incumbents and the result is
+// still a valid contamination-free schedule, with Stats.Canceled set —
+// never an error.
+func OptimizeWashContext(ctx context.Context, base *Schedule, opts PDWOptions) (*PDWResult, error) {
+	return pdw.OptimizeContext(ctx, base, opts)
+}
+
 // Baseline runs the DAWO comparison baseline on a wash-free schedule.
 func Baseline(base *Schedule, opts DAWOOptions) (*DAWOResult, error) {
 	return dawo.Optimize(base, opts)
+}
+
+// BaselineContext is Baseline under a context, with the same graceful
+// degradation as OptimizeWashContext.
+func BaselineContext(ctx context.Context, base *Schedule, opts DAWOOptions) (*DAWOResult, error) {
+	return dawo.OptimizeContext(ctx, base, opts)
 }
 
 // CompressBase re-times a wash-free schedule with the time-window
 // optimizer, giving the fair reference for delay measurements.
 func CompressBase(base *Schedule, limit time.Duration) (*Schedule, error) {
 	return pdw.CompressBase(base, limit)
+}
+
+// CompressBaseContext is CompressBase under a context; a canceled
+// context falls back to the greedy re-timing rather than erroring.
+func CompressBaseContext(ctx context.Context, base *Schedule, limit time.Duration) (*Schedule, error) {
+	return pdw.CompressBaseContext(ctx, base, limit)
 }
 
 // VerifyClean checks that a schedule executes without

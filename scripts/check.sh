@@ -1,0 +1,24 @@
+#!/bin/sh
+# check.sh — the repository's verification gate, also available as
+# `make check`. Runs the tier-1 build, static vet, the fast test suite,
+# and the race-detector pass over the two concurrency-bearing packages
+# (the harness worker pool and the context-cancellable MILP search).
+#
+# The full (non-short) suite, including the complete Table II sweeps,
+# is `go test ./...` and takes many minutes on a small machine.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -short ./..."
+go test -short ./...
+
+echo "==> go test -race -short ./internal/harness ./internal/milp"
+go test -race -short ./internal/harness ./internal/milp
+
+echo "All checks passed."
