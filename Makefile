@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race check bench
+.PHONY: build vet test test-full race check bench bench-smoke
 
 build:
 	go build ./...
@@ -16,12 +16,18 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs
 
 # The verification gate: build + vet + fast tests + race pass.
 check:
 	./scripts/check.sh
 
-# Paper evaluation artifacts (Table II, Fig. 4, Fig. 5).
+# Paper evaluation artifacts (Table II, Fig. 4, Fig. 5) plus the
+# machine-readable sweep result.
 bench:
-	go run ./cmd/pdwbench
+	go run ./cmd/pdwbench -json BENCH_pdw.json
+
+# Fast end-to-end smoke: quick sweep with a JSON artifact, then
+# re-validate the artifact against the bench-file schema.
+bench-smoke:
+	./scripts/bench_smoke.sh

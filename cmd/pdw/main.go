@@ -9,6 +9,7 @@
 //	pdw -bench PCR -stats          # print the structured solve trace
 //	pdw -bench PCR -budget 2s      # bound the whole run by a deadline
 //	pdw -file assay.json           # run a custom JSON assay
+//	pdw -bench PCR -listen :8080   # live /metrics, /debug/vars, /debug/pprof
 //	pdw -bench PCR -export         # dump a benchmark as JSON
 //	pdw -list                      # list available benchmarks
 package main
@@ -25,6 +26,7 @@ import (
 	"pathdriverwash/internal/benchmarks"
 	"pathdriverwash/internal/dawo"
 	"pathdriverwash/internal/demandwash"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/scheduleio"
@@ -48,8 +50,17 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the structured solve trace")
 		heuristic = flag.Bool("heuristic", false, "use BFS paths and greedy windows (no ILP)")
 		outJSON   = flag.String("out", "", "write the optimized schedule as JSON to this file")
+		listen    = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdw: debug server on http://%s (metrics, expvar, pprof)\n", addr)
+	}
 
 	if *list {
 		for _, b := range benchmarks.All() {

@@ -5,43 +5,104 @@
 //
 // Usage:
 //
-//	pdwbench              # Table II + Fig. 4 + Fig. 5
-//	pdwbench -table2      # only Table II
-//	pdwbench -csv         # machine-readable CSV
-//	pdwbench -paper       # measured-vs-paper improvement comparison
-//	pdwbench -quick       # smaller solver budgets (fast smoke run)
-//	pdwbench -stats       # per-benchmark structured solve traces
-//	pdwbench -parallel 4  # worker-pool sweep with 4 workers
+//	pdwbench                      # Table II + Fig. 4 + Fig. 5
+//	pdwbench -table2              # only Table II
+//	pdwbench -csv                 # machine-readable CSV
+//	pdwbench -paper               # measured-vs-paper improvement comparison
+//	pdwbench -quick               # smaller solver budgets (fast smoke run)
+//	pdwbench -stats               # per-benchmark structured solve traces
+//	pdwbench -parallel 4          # worker-pool sweep with 4 workers
+//	pdwbench -json out.json       # machine-readable sweep result (stable schema)
+//	pdwbench -validate out.json   # validate a bench JSON file and exit
+//	pdwbench -trace out.trace.json # Chrome trace-event span dump (Perfetto)
+//	pdwbench -events out.jsonl    # JSONL span event log
+//	pdwbench -listen :8080        # live /metrics, /debug/vars, /debug/pprof
+//
+// Benchmarks that fail are reported on stderr and the command exits
+// non-zero, but every artifact is still produced from the rows that
+// completed — a sweep never silently omits Table II rows.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"pathdriverwash/internal/benchmarks"
 	"pathdriverwash/internal/harness"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/report"
 )
 
 func main() {
 	var (
-		table2 = flag.Bool("table2", false, "print Table II only")
-		fig4   = flag.Bool("fig4", false, "print Fig. 4 only")
-		fig5   = flag.Bool("fig5", false, "print Fig. 5 only")
-		csv    = flag.Bool("csv", false, "print CSV only")
-		paper  = flag.Bool("paper", false, "print measured-vs-paper comparison only")
-		quick  = flag.Bool("quick", false, "small solver budgets")
-		stats  = flag.Bool("stats", false, "print per-benchmark solve traces")
-		winTL  = flag.Duration("window-time", 10*time.Second, "time-window MILP limit per benchmark")
-		pathTL = flag.Duration("path-time", 3*time.Second, "wash-path ILP limit per path")
-		budget = flag.Duration("budget", 0, "total sweep deadline; expiry degrades runs to heuristic incumbents")
-		par    = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		table2   = flag.Bool("table2", false, "print Table II only")
+		fig4     = flag.Bool("fig4", false, "print Fig. 4 only")
+		fig5     = flag.Bool("fig5", false, "print Fig. 5 only")
+		csv      = flag.Bool("csv", false, "print CSV only")
+		paper    = flag.Bool("paper", false, "print measured-vs-paper comparison only")
+		quick    = flag.Bool("quick", false, "small solver budgets")
+		stats    = flag.Bool("stats", false, "print per-benchmark solve traces")
+		winTL    = flag.Duration("window-time", 10*time.Second, "time-window MILP limit per benchmark")
+		pathTL   = flag.Duration("path-time", 3*time.Second, "wash-path ILP limit per path")
+		budget   = flag.Duration("budget", 0, "total sweep deadline; expiry degrades runs to heuristic incumbents")
+		par      = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		jsonOut  = flag.String("json", "", "write the machine-readable sweep result to this file")
+		validate = flag.String("validate", "", "validate a bench JSON file against the schema and exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event span dump to this file")
+		events   = flag.String("events", "", "stream span events as JSON lines to this file")
+		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		_, err = report.ReadBenchJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid bench file (schema v%d)\n", *validate, report.BenchSchemaVersion)
+		return
+	}
+
+	// Observability wiring: any exporter flag enables the span/metric
+	// layer for the whole run.
+	var traceBuf *obs.TraceBuffer
+	if *traceOut != "" {
+		traceBuf = &obs.TraceBuffer{}
+		obs.AddSink(traceBuf)
+		obs.Enable()
+	}
+	var eventsFile *os.File
+	var eventsJSONL *obs.JSONLWriter
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		eventsFile = f
+		eventsJSONL = obs.NewJSONLWriter(f)
+		obs.AddSink(eventsJSONL)
+		obs.Enable()
+	}
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: debug server on http://%s (metrics, expvar, pprof)\n", addr)
+	}
+	if *jsonOut != "" {
+		obs.Enable() // the bench file embeds the metrics snapshot
+	}
 
 	opts := harness.Options{PDW: pdw.Options{
 		PathTimeLimit: *pathTL, WindowTimeLimit: *winTL,
@@ -59,41 +120,107 @@ func main() {
 		defer cancel()
 	}
 
+	benches := benchmarks.All()
 	start := time.Now()
-	outs, err := harness.Run(ctx, benchmarks.All(), opts, *par)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pdwbench:", err)
-		os.Exit(1)
+	outs, errs := harness.RunPartial(ctx, benches, opts, *par)
+	wall := time.Since(start)
+
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "pdwbench: %s failed: %v\n", benches[i].Name, err)
+		}
 	}
 	rows := harness.Rows(outs)
 
+	if *jsonOut != "" {
+		bf := harness.BuildBenchFile(benches, outs, errs, *quick, *par, wall)
+		if err := bf.Validate(); err != nil {
+			fatal(fmt.Errorf("generated bench file fails its own schema: %w", err))
+		}
+		if err := writeFileWith(*jsonOut, func(w io.Writer) error {
+			return report.WriteBenchJSON(w, bf)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: sweep result written to %s\n", *jsonOut)
+	}
+	if traceBuf != nil {
+		if err := writeFileWith(*traceOut, traceBuf.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: %d spans written to %s (load in Perfetto / chrome://tracing)\n",
+			traceBuf.Len(), *traceOut)
+	}
+	if eventsFile != nil {
+		if err := eventsJSONL.Err(); err != nil {
+			fatal(fmt.Errorf("events log: %w", err))
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: span events written to %s\n", *events)
+	}
+
 	all := !*table2 && !*fig4 && !*fig5 && !*csv && !*paper
-	if all || *table2 {
-		fmt.Println(report.TableII(rows))
-	}
-	if all || *fig4 {
-		fmt.Println(report.Fig4(rows))
-	}
-	if all || *fig5 {
-		fmt.Println(report.Fig5(rows))
-	}
-	if *csv {
-		fmt.Print(report.CSV(rows))
-	}
-	if all || *paper {
-		fmt.Println(report.ComparisonTable(harness.PaperComparisons(outs)))
+	if len(rows) > 0 {
+		if all || *table2 {
+			fmt.Println(report.TableII(rows))
+		}
+		if all || *fig4 {
+			fmt.Println(report.Fig4(rows))
+		}
+		if all || *fig5 {
+			fmt.Println(report.Fig5(rows))
+		}
+		if *csv {
+			fmt.Print(report.CSV(rows))
+		}
+		if all || *paper {
+			fmt.Println(report.ComparisonTable(harness.PaperComparisons(outs)))
+		}
 	}
 	if all {
 		for _, o := range outs {
+			if o == nil {
+				continue
+			}
 			fmt.Printf("%-14s DAWO %6.2fs  PDW %6.2fs (windows optimal: %v, B&B nodes %d, simplex pivots %d)\n",
 				o.Benchmark.Name, o.DAWOTime.Seconds(), o.PDWTime.Seconds(), o.PDW.WindowsOptimal,
 				o.PDW.Stats.Nodes(), o.PDW.Stats.SimplexIters())
 		}
-		fmt.Printf("total runtime: %.1fs\n", time.Since(start).Seconds())
+		fmt.Printf("total runtime: %.1fs\n", wall.Seconds())
 	}
 	if *stats {
 		for _, o := range outs {
+			if o == nil {
+				continue
+			}
 			fmt.Printf("\n%s PDW solve trace:\n%s\n", o.Benchmark.Name, o.PDW.Stats.Summary())
 		}
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "pdwbench: %d of %d benchmarks failed\n", failed, len(benches))
+		os.Exit(1)
+	}
+}
+
+// writeFileWith creates path, streams through write, and closes it,
+// reporting the first error.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdwbench:", err)
+	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pathdriverwash/internal/contam"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/solve"
@@ -89,8 +90,10 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	deadline := time.Now().Add(tl)
 	ctx, stop := opts.Budget.Context(ctx)
 	defer stop()
+	ctx, span := obs.Start(ctx, "dawo.optimize", obs.A("tasks", len(base.Tasks())))
+	defer span.End()
 	stats := &solve.Stats{}
-	endFix := stats.StartPhase("wash-insertion")
+	ctx, endFix := stats.StartPhaseContext(ctx, "wash-insertion")
 
 	cur := base
 	var washes []replan.WashSpec
@@ -114,6 +117,10 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 			stats.SetSkips(skipNames(firstSkips))
 			if ctx.Err() != nil {
 				stats.MarkCanceled()
+			}
+			if span != nil {
+				span.SetAttr("rounds", round-1)
+				span.SetAttr("washes", len(washes))
 			}
 			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1, Stats: stats}, nil
 		}

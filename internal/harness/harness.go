@@ -14,9 +14,20 @@ import (
 
 	"pathdriverwash/internal/benchmarks"
 	"pathdriverwash/internal/dawo"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/report"
 	"pathdriverwash/internal/schedule"
+)
+
+// Worker-pool telemetry handles. The busy gauge tracks how many pool
+// workers are inside a benchmark run at this instant; sampled against
+// the pool size it gives utilization.
+var (
+	benchRunsTotal   = obs.Default().Counter("pdw_harness_benchmarks_total")
+	benchErrorsTotal = obs.Default().Counter("pdw_harness_benchmark_errors_total")
+	workersBusy      = obs.Default().Gauge("pdw_harness_workers_busy")
+	workersTotal     = obs.Default().Gauge("pdw_harness_workers_total")
 )
 
 // Options tunes an experiment run.
@@ -52,20 +63,39 @@ func RunBenchmark(b *benchmarks.Benchmark, opts Options) (*Outcome, error) {
 // heuristic incumbents (see their OptimizeContext docs), so a canceled
 // run still yields a valid, verified Outcome unless synthesis itself
 // was aborted at entry.
-func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Options) (*Outcome, error) {
+func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Options) (_ *Outcome, err error) {
 	if opts.BaseCompressLimit <= 0 {
 		opts.BaseCompressLimit = 5 * time.Second
 	}
+	// The benchmark span is the root of the run's trace tree: synthesis,
+	// base compression, DAWO, and PDW all nest under it, so a Chrome
+	// trace of a harness run shows one track per benchmark whose root
+	// span covers the run wall-to-wall.
+	ctx, span := obs.Start(ctx, "benchmark", obs.A("name", b.Name))
+	defer func() {
+		if obs.Enabled() {
+			benchRunsTotal.Inc()
+			if err != nil {
+				benchErrorsTotal.Inc()
+			}
+		}
+		if span != nil {
+			span.SetAttr("ok", err == nil)
+			span.End()
+		}
+	}()
 	syn, err := b.SynthesizeContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
+	t0 := time.Now()
 	ref, err := pdw.CompressBaseContext(ctx, syn.Schedule, opts.BaseCompressLimit)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: compress base: %w", b.Name, err)
 	}
+	obs.RecordSpan(ctx, "compress-base", t0, time.Since(t0))
 
-	t0 := time.Now()
+	t0 = time.Now()
 	dres, err := dawo.OptimizeContext(ctx, syn.Schedule, opts.DAWO)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: DAWO: %w", b.Name, err)
@@ -96,6 +126,12 @@ func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Opti
 		DAWOAvgWait: dm.AvgWaitSeconds, PDWAvgWait: pm.AvgWaitSeconds,
 		DAWOWashTime: dm.TotalWashSeconds, PDWWashTime: pm.TotalWashSeconds,
 		DAWOBuffer: dm.BufferMM, PDWBuffer: pm.BufferMM,
+	}
+	if span != nil {
+		span.SetAttr("pdw_n_wash", pm.NWash)
+		span.SetAttr("dawo_n_wash", dm.NWash)
+		span.SetAttr("pdw_wall_ms", pTime.Milliseconds())
+		span.SetAttr("dawo_wall_ms", dTime.Milliseconds())
 	}
 	return &Outcome{
 		Benchmark: b, Row: row,
@@ -139,11 +175,31 @@ func RunAllParallel(opts Options, workers int) ([]*Outcome, error) {
 // reported as a ctx.Err()-wrapped error. The first error in paper order
 // wins.
 func Run(ctx context.Context, benches []*benchmarks.Benchmark, opts Options, workers int) ([]*Outcome, error) {
+	outs, errs := RunPartial(ctx, benches, opts, workers)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// RunPartial is Run without the first-error-wins contract: every
+// benchmark is attempted (subject to ctx), and the per-benchmark errors
+// come back alongside the outcomes, both in input order. errs[i] is nil
+// exactly when outs[i] is a valid outcome, so callers can report which
+// benchmarks failed instead of discarding the whole run — cmd/pdwbench
+// uses this to print every Table II row it can and list the rest on
+// stderr.
+func RunPartial(ctx context.Context, benches []*benchmarks.Benchmark, opts Options, workers int) ([]*Outcome, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(benches) {
 		workers = len(benches)
+	}
+	if obs.Enabled() {
+		workersTotal.Set(int64(workers))
 	}
 	outs := make([]*Outcome, len(benches))
 	errs := make([]error, len(benches))
@@ -154,7 +210,13 @@ func Run(ctx context.Context, benches []*benchmarks.Benchmark, opts Options, wor
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if obs.Enabled() {
+					workersBusy.Add(1)
+				}
 				outs[i], errs[i] = RunBenchmarkContext(ctx, benches[i], opts)
+				if obs.Enabled() {
+					workersBusy.Add(-1)
+				}
 			}
 		}()
 	}
@@ -173,19 +235,70 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return outs, nil
+	return outs, errs
 }
 
-// Rows extracts the report rows from outcomes.
-func Rows(outs []*Outcome) []report.Row {
-	rows := make([]report.Row, len(outs))
+// BuildBenchFile assembles the machine-readable sweep result that
+// cmd/pdwbench -json writes. outs/errs are RunPartial's parallel
+// slices for benches; nil outcomes become Failures entries. The
+// process-wide observability counter snapshot is embedded so a bench
+// file carries its own solver-effort telemetry.
+func BuildBenchFile(benches []*benchmarks.Benchmark, outs []*Outcome, errs []error,
+	quick bool, workers int, wall time.Duration) *report.BenchFile {
+
+	f := &report.BenchFile{
+		SchemaVersion:    report.BenchSchemaVersion,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		Quick:            quick,
+		Workers:          workers,
+		TotalWallSeconds: wall.Seconds(),
+		Metrics:          obs.Default().Snapshot(),
+	}
 	for i, o := range outs {
-		rows[i] = o.Row
+		if o == nil {
+			msg := "not run"
+			if i < len(errs) && errs[i] != nil {
+				msg = errs[i].Error()
+			}
+			f.Failures = append(f.Failures, report.BenchFailure{Name: benches[i].Name, Error: msg})
+			continue
+		}
+		r := o.Row
+		f.Benchmarks = append(f.Benchmarks, report.BenchResult{
+			Name: r.Benchmark, Ops: r.Ops, Devices: r.Devices, Tasks: r.Tasks,
+			DAWO: report.MethodResult{
+				NWash: r.DAWONWash, LWashMM: r.DAWOLWash,
+				TDelaySeconds: r.DAWOTDelay, TAssaySeconds: r.DAWOTAssay,
+				AvgWaitSeconds: r.DAWOAvgWait, WashTimeSeconds: r.DAWOWashTime,
+				BufferMM: r.DAWOBuffer, WallSeconds: o.DAWOTime.Seconds(),
+				BBNodes: o.DAWO.Stats.Nodes(), BBPruned: o.DAWO.Stats.Pruned(),
+				SimplexPivots: o.DAWO.Stats.SimplexIters(),
+				Canceled:      o.DAWO.Stats.Canceled,
+			},
+			PDW: report.MethodResult{
+				NWash: r.PDWNWash, LWashMM: r.PDWLWash,
+				TDelaySeconds: r.PDWTDelay, TAssaySeconds: r.PDWTAssay,
+				AvgWaitSeconds: r.PDWAvgWait, WashTimeSeconds: r.PDWWashTime,
+				BufferMM: r.PDWBuffer, WallSeconds: o.PDWTime.Seconds(),
+				BBNodes: o.PDW.Stats.Nodes(), BBPruned: o.PDW.Stats.Pruned(),
+				SimplexPivots:  o.PDW.Stats.SimplexIters(),
+				WindowsOptimal: o.PDW.WindowsOptimal,
+				Canceled:       o.PDW.Stats.Canceled,
+			},
+		})
+	}
+	return f
+}
+
+// Rows extracts the report rows from outcomes, skipping nil entries
+// (failed benchmarks from RunPartial).
+func Rows(outs []*Outcome) []report.Row {
+	rows := make([]report.Row, 0, len(outs))
+	for _, o := range outs {
+		if o != nil {
+			rows = append(rows, o.Row)
+		}
 	}
 	return rows
 }
@@ -195,6 +308,9 @@ func Rows(outs []*Outcome) []report.Row {
 func PaperComparisons(outs []*Outcome) []report.PaperComparison {
 	var cs []report.PaperComparison
 	for _, o := range outs {
+		if o == nil {
+			continue
+		}
 		p := o.Benchmark.Paper
 		r := o.Row
 		cs = append(cs,

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/report"
+)
+
+// TestBenchmarkTraceCoverage locks in the observability acceptance
+// contract: a traced benchmark run produces one "benchmark" root span
+// whose children (phases, ILP solves, synthesis steps) cover at least
+// 95% of the root's wall time, so a Chrome trace of a sweep accounts
+// for essentially all solve time.
+func TestBenchmarkTraceCoverage(t *testing.T) {
+	b, err := benchmarks.ByName("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &obs.TraceBuffer{}
+	remove := obs.AddSink(buf)
+	defer remove()
+	obs.Enable()
+	defer obs.Disable()
+
+	if _, err := RunBenchmarkContext(context.Background(), b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := buf.Spans()
+	var root *obs.SpanData
+	for i := range spans {
+		if spans[i].Name == "benchmark" {
+			root = &spans[i]
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("no benchmark root span among %d spans", len(spans))
+	}
+
+	// Merge child span intervals inside the root's window.
+	type iv struct{ s, e int64 }
+	var ivs []iv
+	rs, re := root.Start.UnixNano(), root.Start.Add(root.Duration).UnixNano()
+	for _, d := range spans {
+		if d.Root != root.ID || d.ID == root.ID {
+			continue
+		}
+		s, e := d.Start.UnixNano(), d.Start.Add(d.Duration).UnixNano()
+		if s < rs {
+			s = rs
+		}
+		if e > re {
+			e = re
+		}
+		if e > s {
+			ivs = append(ivs, iv{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var covered, cursor int64
+	cursor = rs
+	for _, v := range ivs {
+		if v.s > cursor {
+			cursor = v.s
+		}
+		if v.e > cursor {
+			covered += v.e - cursor
+			cursor = v.e
+		}
+	}
+	total := re - rs
+	if total <= 0 {
+		t.Fatalf("root span has no duration")
+	}
+	if ratio := float64(covered) / float64(total); ratio < 0.95 {
+		t.Errorf("child spans cover %.1f%% of the benchmark span, want >= 95%%", ratio*100)
+	}
+}
+
+// TestBuildBenchFile checks the sweep-to-JSON assembly including the
+// failure path: a nil outcome becomes a Failures entry and the file
+// still validates.
+func TestBuildBenchFile(t *testing.T) {
+	b, err := benchmarks.ByName("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, errs := RunPartial(context.Background(), []*benchmarks.Benchmark{b}, quickOpts(), 1)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	f := BuildBenchFile([]*benchmarks.Benchmark{b}, outs, errs, true, 1, outs[0].PDWTime+outs[0].DAWOTime)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("generated file invalid: %v", err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "PCR" {
+		t.Fatalf("benchmarks = %+v", f.Benchmarks)
+	}
+	if f.Benchmarks[0].PDW.WallSeconds <= 0 || f.Benchmarks[0].PDW.TAssaySeconds <= 0 {
+		t.Errorf("PDW result not populated: %+v", f.Benchmarks[0].PDW)
+	}
+
+	// A failed benchmark must surface as a failure, not vanish.
+	f2 := BuildBenchFile([]*benchmarks.Benchmark{b}, []*Outcome{nil},
+		[]error{context.DeadlineExceeded}, true, 1, 0)
+	if len(f2.Failures) != 1 || f2.Failures[0].Name != "PCR" {
+		t.Fatalf("failures = %+v", f2.Failures)
+	}
+	if err := f2.Validate(); err != nil {
+		t.Fatalf("failure-only file invalid: %v", err)
+	}
+	var _ *report.BenchFile = f2
+}

@@ -19,7 +19,23 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"pathdriverwash/internal/obs"
 )
+
+// Pivot-loop telemetry. The handles are resolved once at package load;
+// the loop itself pays one Enabled() load per ctxCheckEvery pivots
+// when disabled (see BenchmarkSimplexObsOverhead and the cost contract
+// in DESIGN.md).
+var (
+	lpSolvesTotal = obs.Default().Counter("pdw_lp_solves_total")
+	lpPivotsTotal = obs.Default().Counter("pdw_lp_simplex_pivots_total")
+)
+
+// slowSolvePivots is the pivot threshold above which a finished solve
+// is worth a retroactive span in the trace.
+const slowSolvePivots = 512
 
 // Rel is the relation of a constraint row.
 type Rel int
@@ -194,7 +210,25 @@ func SolveContext(ctx context.Context, p *Problem) (Result, error) {
 		return Result{Status: Optimal, X: x, Obj: obj}, nil
 	}
 	t.ctx = ctx
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
 	res, err := t.solveTwoPhase()
+	if obs.Enabled() {
+		lpSolvesTotal.Inc()
+		lpPivotsTotal.Add(int64(t.iters - t.flushed))
+		t.flushed = t.iters
+		if !t0.IsZero() && t.iters >= slowSolvePivots {
+			status := "error"
+			if err == nil {
+				status = res.Status.String()
+			}
+			obs.RecordSpan(ctx, "lp.simplex", t0, time.Since(t0),
+				obs.A("pivots", t.iters), obs.A("rows", t.m),
+				obs.A("cols", t.n), obs.A("status", status))
+		}
+	}
 	if err != nil || res.Status != Optimal {
 		return res, err
 	}
@@ -248,6 +282,7 @@ type tableau struct {
 	colOf   []int     // problem var -> structural column (-1 if eliminated)
 	rowName []string
 	iters   int
+	flushed int             // pivots already flushed to the obs counter
 	ctx     context.Context // optional cancellation, checked every ctxCheckEvery pivots
 }
 
@@ -524,11 +559,19 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 		if t.iters > maxPivot {
 			return 0, ErrIterationLimit
 		}
-		if t.ctx != nil && t.iters%ctxCheckEvery == 0 {
-			select {
-			case <-t.ctx.Done():
-				return 0, t.ctx.Err()
-			default:
+		if t.iters%ctxCheckEvery == 0 {
+			// Batched telemetry flush at the cancellation-check cadence:
+			// disabled cost is one atomic load per ctxCheckEvery pivots.
+			if obs.Enabled() && t.iters > t.flushed {
+				lpPivotsTotal.Add(int64(t.iters - t.flushed))
+				t.flushed = t.iters
+			}
+			if t.ctx != nil {
+				select {
+				case <-t.ctx.Done():
+					return 0, t.ctx.Err()
+				default:
+				}
 			}
 		}
 		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. In tableau form the

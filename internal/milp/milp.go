@@ -15,8 +15,24 @@ import (
 	"time"
 
 	"pathdriverwash/internal/lp"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/solve"
 )
+
+// Branch & bound telemetry handles, resolved once at package load.
+// Updates inside the node loop are guarded by obs.Enabled(); each node
+// costs at least one LP solve, so the enabled cost is noise and the
+// disabled cost is one atomic load per node.
+var (
+	bbNodesTotal      = obs.Default().Counter("pdw_bb_nodes_total")
+	bbPrunedTotal     = obs.Default().Counter("pdw_bb_pruned_total")
+	bbIncumbentsTotal = obs.Default().Counter("pdw_bb_incumbents_total")
+	bbQueueDepth      = obs.Default().Gauge("pdw_bb_queue_depth")
+)
+
+// bbBatchEvery is the node interval between bb-batch span events; a
+// 200k-node search contributes ~780 events to the trace.
+const bbBatchEvery = 256
 
 // Problem is a linear program plus integrality marks.
 type Problem struct {
@@ -186,11 +202,37 @@ func Solve(p *Problem, opts Options) (Result, error) {
 // the search stops promptly — mid-relaxation included — and returns the
 // best feasible incumbent (Status Feasible), or Status Limit when none
 // was found yet.
-func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error) {
+func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, err error) {
 	start := time.Now()
 	if len(p.Integer) != p.LP.NumVars {
 		return Result{}, fmt.Errorf("milp: Integer has %d marks for %d variables", len(p.Integer), p.LP.NumVars)
 	}
+	intVars := 0
+	for _, isInt := range p.Integer {
+		if isInt {
+			intVars++
+		}
+	}
+	ctx, span := obs.Start(ctx, "milp.bnb",
+		obs.A("vars", p.LP.NumVars), obs.A("int_vars", intVars),
+		obs.A("constraints", len(p.LP.Constraints)))
+	defer func() {
+		status := "error"
+		if err == nil {
+			status = res.Status.String()
+		}
+		if obs.Enabled() {
+			obs.Default().Counter("pdw_milp_solves_total", "status", status).Inc()
+			obs.Default().Histogram("pdw_milp_wall_seconds", nil).Observe(time.Since(start).Seconds())
+		}
+		if span != nil {
+			span.SetAttr("status", status)
+			span.SetAttr("nodes", res.Nodes)
+			span.SetAttr("pruned", res.Pruned)
+			span.SetAttr("simplex_pivots", res.SimplexIters)
+			span.End()
+		}
+	}()
 	limit := opts.TimeLimit
 	if limit <= 0 {
 		limit = DefaultTimeLimit
@@ -226,6 +268,10 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error)
 		trajectory = append(trajectory, solve.Incumbent{
 			Obj: obj, Node: nodes, Elapsed: time.Since(start),
 		})
+		if obs.Enabled() {
+			bbIncumbentsTotal.Inc()
+			span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes))
+		}
 	}
 	if opts.Incumbent != nil {
 		if err := p.CheckFeasible(opts.Incumbent); err != nil {
@@ -276,6 +322,9 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error)
 		n := heap.Pop(queue).(*node)
 		if haveInc && n.bound >= incObj-1e-9 {
 			pruned++
+			if obs.Enabled() {
+				bbPrunedTotal.Inc()
+			}
 			continue // pruned by bound
 		}
 		res, err := solveNode(n)
@@ -289,6 +338,15 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error)
 			return Result{}, err
 		}
 		nodes++
+		if obs.Enabled() {
+			bbNodesTotal.Inc()
+			bbQueueDepth.Set(int64(queue.Len()))
+			if nodes%bbBatchEvery == 0 {
+				span.Event("bb-batch",
+					obs.A("nodes", nodes), obs.A("queue", queue.Len()),
+					obs.A("pruned", pruned), obs.A("incumbent", incObj))
+			}
+		}
 		switch res.Status {
 		case lp.Infeasible:
 			continue
@@ -303,6 +361,9 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (Result, error)
 		}
 		if haveInc && res.Obj >= incObj-1e-9 {
 			pruned++
+			if obs.Enabled() {
+				bbPrunedTotal.Inc()
+			}
 			continue
 		}
 		frac := p.mostFractional(res.X)

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the default registry's snapshot under the
+// "pdw_metrics" expvar, once per process.
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("pdw_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the debug HTTP handler: Prometheus text at
+// /metrics, expvar JSON at /debug/vars, and the full net/http/pprof
+// suite at /debug/pprof/. A bare "/" serves a plain index of the
+// mounted endpoints.
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "pdw debug endpoint")
+		fmt.Fprintln(w, "  /metrics      Prometheus text format")
+		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof  pprof profiles")
+	})
+	return mux
+}
+
+// Serve enables the observability layer and serves Handler on addr
+// (e.g. "localhost:6060" or ":0") in a background goroutine. It
+// returns the bound address, usable when addr requested port 0.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	Enable()
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pdw_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("pdw_test_total") != c {
+		t.Fatal("same name resolved to a different counter")
+	}
+	g := r.Gauge("pdw_depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestCounterLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pdw_skips_total", "reason", "type1")
+	b := r.Counter("pdw_skips_total", "reason", "type2")
+	if a == b {
+		t.Fatal("distinct labels share a counter")
+	}
+	if r.Counter("pdw_skips_total", "reason", "type1") != a {
+		t.Fatal("same labels resolved to a different counter")
+	}
+	a.Inc()
+	b.Add(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pdw_skips_total counter",
+		`pdw_skips_total{reason="type1"} 1`,
+		`pdw_skips_total{reason="type2"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pdw_bench_total", "name", "Kinase \"act-1\"\nx\\y").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `name="Kinase \"act-1\"\nx\\y"`) {
+		t.Errorf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pdw_wall_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pdw_wall_seconds histogram",
+		`pdw_wall_seconds_bucket{le="0.1"} 1`,
+		`pdw_wall_seconds_bucket{le="1"} 3`,
+		`pdw_wall_seconds_bucket{le="10"} 4`,
+		`pdw_wall_seconds_bucket{le="+Inf"} 5`,
+		"pdw_wall_seconds_sum 56.05",
+		"pdw_wall_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelsMergeLE(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("pdw_phase_seconds", []float64{1}, "phase", "verify").Observe(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `pdw_phase_seconds_bucket{phase="verify",le="1"} 1`) {
+		t.Errorf("le not merged into label block:\n%s", sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pdw_a_total").Add(3)
+	r.Gauge("pdw_g", "w", "1").Set(-2)
+	r.Histogram("pdw_h_seconds", []float64{1}).Observe(0.25)
+	s := r.Snapshot()
+	if s["pdw_a_total"] != 3 {
+		t.Errorf("counter snapshot = %v", s["pdw_a_total"])
+	}
+	if s[`pdw_g{w="1"}`] != -2 {
+		t.Errorf("gauge snapshot = %v (have %v)", s[`pdw_g{w="1"}`], s)
+	}
+	if s["pdw_h_seconds_count"] != 1 || s["pdw_h_seconds_sum"] != 0.25 {
+		t.Errorf("histogram snapshot wrong: %v", s)
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("pdw_conc_total")
+			h := r.Histogram("pdw_conc_seconds", nil)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.Gauge("pdw_conc_depth").Add(1)
+				r.Gauge("pdw_conc_depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("pdw_conc_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("pdw_conc_seconds", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("pdw_conc_depth").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if math.Abs(r.Histogram("pdw_conc_seconds", nil).Sum()-8.0) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want 8", r.Histogram("pdw_conc_seconds", nil).Sum())
+	}
+}
+
+func TestOddLabelPairsDoNotPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pdw_odd_total", "only-key").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `pdw_odd_total{only-key=""} 1`) {
+		t.Errorf("odd labels handled wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with the layer enabled, restoring the prior state.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	was := Enabled()
+	Enable()
+	defer func() {
+		if !was {
+			Disable()
+		}
+	}()
+	f()
+}
+
+func TestStartDisabledReturnsNil(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "x")
+	if s != nil {
+		t.Fatal("disabled Start returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disabled Start wrapped the context")
+	}
+	// All methods must be nil-safe.
+	s.SetAttr("k", 1)
+	s.Event("e")
+	s.End()
+	if FromContext(ctx2) != nil {
+		t.Fatal("nil span leaked into context")
+	}
+}
+
+func TestSpanTreeAndSinkDelivery(t *testing.T) {
+	withEnabled(t, func() {
+		buf := NewTraceBuffer()
+		remove := AddSink(buf)
+		defer remove()
+
+		ctx, root := Start(context.Background(), "root", A("bench", "PCR"))
+		ctx2, child := Start(ctx, "child")
+		child.SetAttr("nodes", 42)
+		child.Event("incumbent", A("obj", 3.5))
+		if FromContext(ctx2) != child {
+			t.Fatal("context does not carry child")
+		}
+		child.End()
+		child.End() // idempotent
+		root.End()
+
+		spans := buf.Spans()
+		if len(spans) != 2 {
+			t.Fatalf("got %d spans, want 2", len(spans))
+		}
+		c, r := spans[0], spans[1]
+		if c.Name != "child" || r.Name != "root" {
+			t.Fatalf("order wrong: %q %q", c.Name, r.Name)
+		}
+		if c.Parent != r.ID || c.Root != r.ID || r.Root != r.ID {
+			t.Fatalf("tree wrong: child{parent=%d root=%d} root{id=%d}", c.Parent, c.Root, r.ID)
+		}
+		if len(c.Events) != 1 || c.Events[0].Name != "incumbent" {
+			t.Fatalf("child events = %+v", c.Events)
+		}
+		if len(r.Attrs) != 1 || r.Attrs[0].Key != "bench" {
+			t.Fatalf("root attrs = %+v", r.Attrs)
+		}
+	})
+}
+
+func TestEndAfterDisableStillDelivers(t *testing.T) {
+	buf := NewTraceBuffer()
+	remove := AddSink(buf)
+	defer remove()
+	Enable()
+	_, s := Start(context.Background(), "late")
+	Disable()
+	s.End()
+	if buf.Len() != 1 {
+		t.Fatalf("span started while enabled was dropped: %d", buf.Len())
+	}
+}
+
+func TestRemoveSink(t *testing.T) {
+	withEnabled(t, func() {
+		buf := NewTraceBuffer()
+		remove := AddSink(buf)
+		remove()
+		_, s := Start(context.Background(), "x")
+		s.End()
+		if buf.Len() != 0 {
+			t.Fatal("removed sink still receives spans")
+		}
+	})
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	withEnabled(t, func() {
+		buf := NewTraceBuffer()
+		remove := AddSink(buf)
+		defer remove()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					ctx, root := Start(context.Background(), "worker")
+					_, inner := Start(ctx, "inner")
+					inner.SetAttr("i", i)
+					inner.Event("tick")
+					inner.End()
+					root.End()
+				}
+			}()
+		}
+		wg.Wait()
+		if buf.Len() != 8*100*2 {
+			t.Fatalf("got %d spans, want %d", buf.Len(), 8*100*2)
+		}
+	})
+}
+
+func TestDisabledStartAllocs(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, s := Start(ctx, "hot")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start allocates %.1f times per op", allocs)
+	}
+}

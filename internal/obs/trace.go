@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceBuffer is a Sink that accumulates finished spans in memory for
+// a post-run Chrome trace-event dump. Safe for concurrent use.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewTraceBuffer returns an empty buffer.
+func NewTraceBuffer() *TraceBuffer { return &TraceBuffer{} }
+
+// OnSpanEnd implements Sink.
+func (t *TraceBuffer) OnSpanEnd(d SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, d)
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the collected spans.
+func (t *TraceBuffer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.spans...)
+}
+
+// Len returns the number of collected spans.
+func (t *TraceBuffer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the
+// JSON-array flavor, which Perfetto and chrome://tracing both load).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the buffer as a Chrome trace-event JSON
+// array. Every span becomes a complete ("X") event; span events become
+// instant ("i") events; each span-tree root gets its own thread row
+// named after the root span, so parallel benchmark runs display as
+// parallel tracks.
+func (t *TraceBuffer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var t0 time.Time
+	for _, s := range spans {
+		if t0.IsZero() || s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	us := func(ts time.Time) float64 { return float64(ts.Sub(t0)) / float64(time.Microsecond) }
+
+	var events []chromeEvent
+	named := map[uint64]bool{}
+	for _, s := range spans {
+		if s.ID == s.Root && !named[s.Root] {
+			named[s.Root] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: s.Root,
+				Args: map[string]any{"name": s.Name},
+			})
+		}
+		args := attrArgs(s.Attrs)
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "X",
+			TS:  us(s.Start),
+			Dur: float64(s.Duration) / float64(time.Microsecond),
+			PID: 1, TID: s.Root, Args: args,
+		})
+		for _, e := range s.Events {
+			events = append(events, chromeEvent{
+				Name: e.Name, Phase: "i", TS: us(e.Time),
+				PID: 1, TID: s.Root, Scope: "t", Args: attrArgs(e.Attrs),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		args[a.Key] = a.Value
+	}
+	return args
+}
+
+// JSONLWriter is a Sink that streams every finished span as one JSON
+// line. Writes are serialized; errors after the first are dropped so
+// a broken pipe cannot wedge the solve.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return &JSONLWriter{w: w} }
+
+// OnSpanEnd implements Sink.
+func (j *JSONLWriter) OnSpanEnd(d SpanData) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := fmt.Fprintf(j.w, "%s\n", b); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

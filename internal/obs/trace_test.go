@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceFormat(t *testing.T) {
+	withEnabled(t, func() {
+		buf := NewTraceBuffer()
+		remove := AddSink(buf)
+		defer remove()
+
+		ctx, root := Start(context.Background(), "benchmark", A("name", "PCR"))
+		_, child := Start(ctx, "pdw")
+		child.Event("round", A("n", 1))
+		time.Sleep(time.Millisecond)
+		child.End()
+		root.End()
+
+		var sb strings.Builder
+		if err := buf.WriteChromeTrace(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+			t.Fatalf("trace is not a JSON array: %v", err)
+		}
+		var phases []string
+		names := map[string]bool{}
+		for _, e := range events {
+			phases = append(phases, e["ph"].(string))
+			names[e["name"].(string)] = true
+		}
+		// thread_name metadata + 2 complete spans + 1 instant event.
+		if len(events) != 4 {
+			t.Fatalf("got %d events, want 4: %v", len(events), phases)
+		}
+		for _, want := range []string{"thread_name", "benchmark", "pdw", "round"} {
+			if !names[want] {
+				t.Errorf("missing event %q", want)
+			}
+		}
+		for _, e := range events {
+			if e["ph"] == "X" {
+				if e["dur"] == nil {
+					t.Errorf("complete event %v has no dur", e["name"])
+				}
+				if ts := e["ts"].(float64); ts < 0 {
+					t.Errorf("negative ts %v", ts)
+				}
+			}
+		}
+	})
+}
+
+func TestJSONLWriter(t *testing.T) {
+	withEnabled(t, func() {
+		var sb strings.Builder
+		jw := NewJSONLWriter(&sb)
+		remove := AddSink(jw)
+		defer remove()
+
+		_, s := Start(context.Background(), "phase", A("k", "v"))
+		s.End()
+		if err := jw.Err(); err != nil {
+			t.Fatal(err)
+		}
+		line := strings.TrimSpace(sb.String())
+		var d SpanData
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line is not JSON: %v\n%s", err, line)
+		}
+		if d.Name != "phase" || len(d.Attrs) != 1 || d.Attrs[0].Key != "k" {
+			t.Fatalf("decoded span wrong: %+v", d)
+		}
+	})
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	Default().Counter("pdw_handler_test_total").Add(9)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "pdw_handler_test_total 9") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "pdw_metrics") {
+		t.Errorf("/debug/vars: code=%d", code)
+		_ = body
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path served: code=%d", code)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if !Enabled() {
+		t.Fatal("Serve did not enable the layer")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"pathdriverwash/internal/dawo"
 	"pathdriverwash/internal/geom"
 	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/solve"
@@ -139,13 +140,18 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	opts = opts.withDefaults()
 	ctx, stop := opts.Budget.Context(ctx)
 	defer stop()
+	ctx, span := obs.Start(ctx, "pdw.optimize",
+		obs.A("tasks", len(base.Tasks())),
+		obs.A("exact_paths", !opts.HeuristicPaths),
+		obs.A("exact_windows", !opts.HeuristicWindows))
+	defer span.End()
 	stats := &solve.Stats{}
 	pol := contam.Policy{}
 	if opts.DisableNecessity {
 		pol = contam.Policy{IgnoreFluidTypes: true}
 	}
 
-	endInsertion := stats.StartPhase("wash-insertion")
+	insCtx, endInsertion := stats.StartPhaseContext(ctx, "wash-insertion")
 	cur := base
 	var washes []replan.WashSpec
 	integrated := map[string]bool{}
@@ -167,7 +173,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 			groups = contam.MergeGroups(groups, opts.MergeRadius)
 		}
 		for _, g := range groups {
-			specs, err := buildWashSpecs(ctx, cur, g, &washes, integrated, opts, stats)
+			specs, err := buildWashSpecs(insCtx, cur, g, &washes, integrated, opts, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -205,8 +211,8 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	}
 	final := greedy
 	if !opts.HeuristicWindows && len(washes) > 0 {
-		endWindows := stats.StartPhase("window-milp")
-		optimized, optimal, err := optimizeWindows(ctx, plan, greedy, opts.WindowTimeLimit, stats)
+		wctx, endWindows := stats.StartPhaseContext(ctx, "window-milp")
+		optimized, optimal, err := optimizeWindows(wctx, plan, greedy, opts.WindowTimeLimit, stats)
 		endWindows()
 		if err == nil && optimized != nil {
 			if contam.Verify(optimized) == nil {
@@ -215,7 +221,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 			}
 		}
 	}
-	endVerify := stats.StartPhase("verify")
+	_, endVerify := stats.StartPhaseContext(ctx, "verify")
 	if err := final.Validate(); err != nil {
 		return nil, fmt.Errorf("pdw: final schedule invalid: %w", err)
 	}
@@ -229,6 +235,17 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	res.Schedule = final
 	m := final.ComputeMetrics(base)
 	res.Objective = opts.Alpha*float64(m.NWash) + opts.Beta*m.LWashMM + opts.Gamma*float64(m.TAssay)
+	if span != nil {
+		span.SetAttr("rounds", rounds)
+		span.SetAttr("washes", len(washes))
+		span.SetAttr("n_wash", m.NWash)
+		span.SetAttr("objective", res.Objective)
+		span.SetAttr("canceled", res.Stats.Canceled)
+	}
+	if obs.Enabled() {
+		obs.Default().Counter("pdw_optimize_runs_total").Inc()
+		obs.Default().Counter("pdw_washes_built_total").Add(int64(len(washes)))
+	}
 	return res, nil
 }
 

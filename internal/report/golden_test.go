@@ -1,0 +1,75 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// goldenRows is a fixed fixture whose renders are pinned byte-for-byte
+// below. Any formatting change to TableII/CSV must update the goldens
+// deliberately — downstream scripts parse these outputs.
+func goldenRows() []Row {
+	rows := sampleRows()
+	rows[0].DAWOBuffer, rows[0].PDWBuffer = 22, 16
+	rows[1].DAWOBuffer, rows[1].PDWBuffer = 40, 30
+	return rows
+}
+
+const goldenTableII = "Benchmark      |O|/|D|/|E| | N_wash  DAWO  PDW  Im% |  L_wash(mm)  DAWO   PDW  Im% | T_delay DAWO  PDW  Im% | T_assay  DAWO   PDW  Im%\n" +
+	"--------------------------------------------------------------------------------------------------------------------------------------\n" +
+	"PCR             7/ 5/15    |             4    3 25.00 |              110    80 27.27 |           10    7  30.00 |             33    30  9.09\n" +
+	"IVD            12/ 9/24    |            10    6 40.00 |              200   150 25.00 |           21   16  23.81 |             51    46  9.80\n" +
+	"Average                    |                    32.50 |                        26.14 |                    26.90 |                       9.45\n"
+
+const goldenCSV = "benchmark,ops,devices,tasks," +
+	"dawo_nwash,pdw_nwash,dawo_lwash_mm,pdw_lwash_mm," +
+	"dawo_tdelay_s,pdw_tdelay_s,dawo_tassay_s,pdw_tassay_s," +
+	"dawo_avgwait_s,pdw_avgwait_s,dawo_washtime_s,pdw_washtime_s," +
+	"dawo_buffer_mm,pdw_buffer_mm\n" +
+	"PCR,7,5,15,4,3,110.0,80.0,10,7,33,30,5.00,2.50,12,9,22.0,16.0\n" +
+	"IVD,12,9,24,10,6,200.0,150.0,21,16,51,46,8.00,4.00,20,14,40.0,30.0\n"
+
+func TestTableIIGolden(t *testing.T) {
+	got := TableII(goldenRows())
+	if got != goldenTableII {
+		t.Errorf("TableII output drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenTableII)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	got := CSV(goldenRows())
+	if got != goldenCSV {
+		t.Errorf("CSV output drifted from golden.\ngot:\n%s\nwant:\n%s", got, goldenCSV)
+	}
+}
+
+func TestTableIIEmpty(t *testing.T) {
+	s := TableII(nil)
+	if strings.Contains(s, "Average") {
+		t.Errorf("empty table must not print an average row:\n%s", s)
+	}
+	if lines := strings.Split(strings.TrimRight(s, "\n"), "\n"); len(lines) != 2 {
+		t.Errorf("empty table should be header + rule, got %d lines", len(lines))
+	}
+}
+
+func TestImprovementEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want float64
+	}{
+		{"zero baseline guarded", 0, 5, 0},
+		{"both zero", 0, 0, 0},
+		{"no change", 7, 7, 0},
+		{"full reduction", 8, 0, 100},
+		{"negative improvement (regression)", 10, 15, -50},
+		{"negative baseline", -10, -5, 50},
+	}
+	for _, c := range cases {
+		if got := Improvement(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Improvement(%g,%g) = %g, want %g", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}

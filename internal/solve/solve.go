@@ -5,9 +5,10 @@
 // incumbent trajectory, wash-path ILP sizes, and the Type 1/2/3
 // wash-elimination counts of Sec. II-A).
 //
-// The package is a leaf: it imports only the standard library, so every
-// solver layer (lp, milp, washpath, pdw, dawo, synth, harness) and the
-// public pkg/pathdriver surface can depend on it without cycles.
+// The package is a leaf: it imports only the standard library and the
+// internal/obs observability leaf, so every solver layer (lp, milp,
+// washpath, pdw, dawo, synth, harness) and the public pkg/pathdriver
+// surface can depend on it without cycles.
 package solve
 
 import (

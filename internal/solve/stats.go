@@ -1,11 +1,14 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"pathdriverwash/internal/obs"
 )
 
 // Incumbent is one point of a branch & bound incumbent trajectory: a new
@@ -62,16 +65,39 @@ type Stats struct {
 }
 
 // StartPhase opens a named phase and returns the closer that records
-// its wall time. Usage: defer s.StartPhase("window-milp")().
+// its wall time. Usage: defer s.StartPhase("window-milp")(). The
+// closer also feeds the process-wide pdw_phase_seconds histogram when
+// the observability layer is enabled, so Stats and the metrics
+// registry stay consistent without parallel bookkeeping at call sites.
 func (s *Stats) StartPhase(name string) func() {
 	if s == nil {
 		return func() {}
 	}
 	t0 := time.Now()
 	return func() {
+		wall := time.Since(t0)
+		if obs.Enabled() {
+			obs.Default().Histogram("pdw_phase_seconds", nil, "phase", name).
+				Observe(wall.Seconds())
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		s.Phases = append(s.Phases, PhaseStat{Name: name, Wall: time.Since(t0)})
+		s.Phases = append(s.Phases, PhaseStat{Name: name, Wall: wall})
+	}
+}
+
+// StartPhaseContext is StartPhase plus span tracing: it opens a
+// "phase.<name>" span parented under ctx and returns the derived
+// context, so solves inside the phase nest under it in the trace. The
+// closer ends the span and records the wall time exactly as StartPhase
+// does. Safe on a nil receiver and with observability disabled (the
+// returned context is then ctx unchanged).
+func (s *Stats) StartPhaseContext(ctx context.Context, name string) (context.Context, func()) {
+	ctx, span := obs.Start(ctx, "phase."+name)
+	end := s.StartPhase(name)
+	return ctx, func() {
+		span.End()
+		end()
 	}
 }
 
@@ -85,10 +111,17 @@ func (s *Stats) AddMILP(m MILPStat) {
 	s.MILPs = append(s.MILPs, m)
 }
 
-// SetSkips records the wash-necessity skip counts.
+// SetSkips records the wash-necessity skip counts, mirroring them to
+// the pdw_necessity_skips_total counter family when observability is
+// enabled.
 func (s *Stats) SetSkips(skips map[string]int) {
 	if s == nil {
 		return
+	}
+	if obs.Enabled() {
+		for reason, n := range skips {
+			obs.Default().Counter("pdw_necessity_skips_total", "reason", reason).Add(int64(n))
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -26,10 +26,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"pathdriverwash/internal/assay"
 	"pathdriverwash/internal/geom"
 	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/route"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/solve"
@@ -89,6 +91,8 @@ func SynthesizeContext(ctx context.Context, a *assay.Assay, cfg Config) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
 	}
+	ctx, span := obs.Start(ctx, "synth.synthesize", obs.A("assay", a.Name))
+	defer span.End()
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: %w: %w", solve.ErrInvalidAssay, err)
 	}
@@ -102,28 +106,37 @@ func SynthesizeContext(ctx context.Context, a *assay.Assay, cfg Config) (*Result
 		return nil, err
 	}
 	if cfg.Topology == Ring {
+		t0 := time.Now()
 		chip, err := buildRingChip(a.Name, specs, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return SynthesizeOnChip(a, chip)
+		obs.RecordSpan(ctx, "synth.placement", t0, time.Since(t0), obs.A("mode", "ring"))
+		return SynthesizeOnChipContext(ctx, a, chip)
 	}
 	if cfg.OptimizePlacement {
+		t0 := time.Now()
 		chip, binding, err := optimizePlacement(a, specs, cfg)
 		if err != nil {
 			return nil, err
 		}
+		obs.RecordSpan(ctx, "synth.placement", t0, time.Since(t0), obs.A("mode", "optimized"))
+		t0 = time.Now()
 		sched, err := buildSchedule(a, chip, binding)
 		if err != nil {
 			return nil, err
 		}
+		obs.RecordSpan(ctx, "synth.schedule", t0, time.Since(t0),
+			obs.A("tasks", len(sched.Tasks())))
 		return &Result{Chip: chip, Schedule: sched, Binding: binding}, nil
 	}
+	t0 := time.Now()
 	chip, err := buildChip(a.Name, specs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return SynthesizeOnChip(a, chip)
+	obs.RecordSpan(ctx, "synth.placement", t0, time.Since(t0), obs.A("mode", "street-grid"))
+	return SynthesizeOnChipContext(ctx, a, chip)
 }
 
 // SynthesizeOnChip binds and schedules the assay on a caller-provided
@@ -145,14 +158,19 @@ func SynthesizeOnChipContext(ctx context.Context, a *assay.Assay, chip *grid.Chi
 	if err := chip.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	binding, err := bind(a, chip)
 	if err != nil {
 		return nil, err
 	}
+	obs.RecordSpan(ctx, "synth.bind", t0, time.Since(t0), obs.A("ops", len(binding)))
+	t0 = time.Now()
 	sched, err := buildSchedule(a, chip, binding)
 	if err != nil {
 		return nil, err
 	}
+	obs.RecordSpan(ctx, "synth.schedule", t0, time.Since(t0),
+		obs.A("tasks", len(sched.Tasks())))
 	return &Result{Chip: chip, Schedule: sched, Binding: binding}, nil
 }
 

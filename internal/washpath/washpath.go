@@ -34,6 +34,7 @@ import (
 	"pathdriverwash/internal/grid"
 	"pathdriverwash/internal/lp"
 	"pathdriverwash/internal/milp"
+	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/route"
 	"pathdriverwash/internal/solve"
 )
@@ -226,7 +227,7 @@ func ChainOrder(targets []geom.Point) ([]geom.Point, error) {
 }
 
 // buildILP solves the Eqs. 12-15 formulation with lazy connectivity cuts.
-func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bool) (Plan, error) {
+func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, heur Plan, haveHeur bool) (_ Plan, err error) {
 	tl := opts.TimeLimit
 	if tl <= 0 {
 		tl = 5 * time.Second
@@ -237,6 +238,20 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 	}
 	deadline := time.Now().Add(tl)
 
+	ctx, span := obs.Start(ctx, "washpath.ilp", obs.A("targets", len(req.Targets)))
+	rounds := 0
+	defer func() {
+		if span != nil {
+			span.SetAttr("cut_rounds", rounds)
+			span.SetAttr("ok", err == nil)
+			span.End()
+		}
+		if obs.Enabled() {
+			obs.Default().Counter("pdw_washpath_ilps_total").Inc()
+			obs.Default().Counter("pdw_washpath_cut_rounds_total").Add(int64(rounds))
+		}
+	}()
+
 	m := newModel(chip, req, heur, haveHeur)
 	if m == nil {
 		return Plan{}, fmt.Errorf("washpath: no usable cells")
@@ -244,6 +259,7 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 
 	var extraCuts []map[int]float64
 	for round := 0; round <= maxCuts; round++ {
+		rounds = round
 		remain := time.Until(deadline)
 		if remain <= 0 || ctx.Err() != nil {
 			return Plan{}, fmt.Errorf("washpath: %w during cut round %d", solve.ErrBudgetExceeded, round)
@@ -269,6 +285,8 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 		}
 		plan, cut := m.extract(res.X)
 		if cut != nil {
+			span.Event("connectivity-cut",
+				obs.A("round", round), obs.A("component_cells", len(cut)))
 			extraCuts = append(extraCuts, cut)
 			continue
 		}

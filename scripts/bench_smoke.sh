@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench_smoke.sh — fast end-to-end benchmark smoke, available as
+# `make bench-smoke`. Runs the quick sweep with the machine-readable
+# JSON artifact enabled, then validates the artifact against the
+# bench-file schema (internal/report.BenchFile.Validate) via
+# `pdwbench -validate`. Fails if any benchmark fails (pdwbench exits
+# non-zero and lists failures on stderr) or if the generated JSON does
+# not round-trip through the schema.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${BENCH_SMOKE_OUT:-/tmp/pdw_bench_smoke.json}"
+
+echo "==> pdwbench -quick -json $out"
+go run ./cmd/pdwbench -quick -json "$out" >/dev/null
+
+echo "==> pdwbench -validate $out"
+go run ./cmd/pdwbench -validate "$out"
+
+echo "Bench smoke passed."

@@ -18,7 +18,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp"
-go test -race -short ./internal/harness ./internal/milp
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs
 
 echo "All checks passed."
