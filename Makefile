@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race check bench bench-smoke
+.PHONY: build vet test test-full race check bench bench-smoke bench-diff
 
 build:
 	go build ./...
@@ -16,18 +16,33 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report
 
-# The verification gate: build + vet + fast tests + race pass.
+# The verification gate: build + gofmt + vet + fast tests + race pass.
 check:
 	./scripts/check.sh
 
 # Paper evaluation artifacts (Table II, Fig. 4, Fig. 5) plus the
-# machine-readable sweep result.
+# machine-readable sweep result. COUNT > 1 repeats each benchmark,
+# recording the per-iteration wall-time samples the regression radar's
+# significance tests feed on.
+COUNT ?= 1
 bench:
-	go run ./cmd/pdwbench -json BENCH_pdw.json
+	go run ./cmd/pdwbench -count $(COUNT) -json BENCH_pdw.json
 
-# Fast end-to-end smoke: quick sweep with a JSON artifact, then
-# re-validate the artifact against the bench-file schema.
+# Fast end-to-end smoke: quick sweep with a JSON artifact, schema
+# validation, a self-diff, and a second sweep gated against the first.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Regression radar against the committed baseline: rerun the full sweep
+# (COUNT samples per benchmark) and fail on significant regressions in
+# solution quality or >WALL_THRESHOLD relative wall-time growth.
+#   make bench-diff                    # single-shot, threshold mode
+#   make bench-diff COUNT=5            # sampled, Mann-Whitney verdicts
+BASE ?= BENCH_pdw.json
+BENCH_DIFF_OUT ?= /tmp/pdw_bench_new.json
+WALL_THRESHOLD ?= 0.20
+bench-diff:
+	go run ./cmd/pdwbench -count $(COUNT) -json $(BENCH_DIFF_OUT) \
+		-baseline $(BASE) -wall-threshold $(WALL_THRESHOLD)

@@ -13,7 +13,12 @@
 //	pdwbench -stats               # per-benchmark structured solve traces
 //	pdwbench -parallel 4          # worker-pool sweep with 4 workers
 //	pdwbench -json out.json       # machine-readable sweep result (stable schema)
+//	pdwbench -count 5 -json out.json # repeat the sweep 5x, recording wall-time samples
 //	pdwbench -validate out.json   # validate a bench JSON file and exit
+//	pdwbench -compare old.json new.json # statistical diff of two bench files
+//	pdwbench -compare -md old.json new.json # ... as a markdown table
+//	pdwbench -baseline old.json   # run the sweep, diff against old.json,
+//	                              # exit non-zero on significant regression
 //	pdwbench -trace out.trace.json # Chrome trace-event span dump (Perfetto)
 //	pdwbench -events out.jsonl    # JSONL span event log
 //	pdwbench -listen :8080        # live /metrics, /debug/vars, /debug/pprof
@@ -21,6 +26,14 @@
 // Benchmarks that fail are reported on stderr and the command exits
 // non-zero, but every artifact is still produced from the rows that
 // completed — a sweep never silently omits Table II rows.
+//
+// The regression verdicts come from internal/report.Diff: Mann–Whitney
+// significance on wall-time samples when both files carry them, fixed
+// relative thresholds otherwise, and a hard refusal to compare -quick
+// files against full runs. -baseline fails the run (exit 1) on any
+// regression in n_wash / l_wash_mm / t_assay_s, on a wall-time
+// regression beyond -wall-threshold, or on a benchmark that vanished
+// relative to the baseline.
 package main
 
 import (
@@ -52,7 +65,12 @@ func main() {
 		budget   = flag.Duration("budget", 0, "total sweep deadline; expiry degrades runs to heuristic incumbents")
 		par      = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 		jsonOut  = flag.String("json", "", "write the machine-readable sweep result to this file")
+		count    = flag.Int("count", 1, "run each benchmark this many times, recording per-iteration wall-time samples")
 		validate = flag.String("validate", "", "validate a bench JSON file against the schema and exit")
+		compare  = flag.Bool("compare", false, "compare two bench JSON files (old new) and exit")
+		md       = flag.Bool("md", false, "render -compare / -baseline diffs as markdown")
+		baseline = flag.String("baseline", "", "bench JSON baseline: run the sweep, diff against it, exit non-zero on regression")
+		wallGate = flag.Float64("wall-threshold", 0.20, "relative wall-time regression that fails -baseline (0.20 = +20%)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event span dump to this file")
 		events   = flag.String("events", "", "stream span events as JSON lines to this file")
 		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
@@ -60,16 +78,33 @@ func main() {
 	flag.Parse()
 
 	if *validate != "" {
-		f, err := os.Open(*validate)
-		if err != nil {
-			fatal(err)
-		}
-		_, err = report.ReadBenchJSON(f)
-		f.Close()
-		if err != nil {
+		if _, err := readBenchFile(*validate); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s: valid bench file (schema v%d)\n", *validate, report.BenchSchemaVersion)
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two bench files: pdwbench -compare old.json new.json"))
+		}
+		oldFile, err := readBenchFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newFile, err := readBenchFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := report.Diff(oldFile, newFile)
+		if err != nil {
+			fatal(err)
+		}
+		if *md {
+			fmt.Print(rep.Markdown())
+		} else {
+			fmt.Print(rep.Table())
+		}
 		return
 	}
 
@@ -100,7 +135,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pdwbench: debug server on http://%s (metrics, expvar, pprof)\n", addr)
 	}
-	if *jsonOut != "" {
+	if *jsonOut != "" || *baseline != "" {
 		obs.Enable() // the bench file embeds the metrics snapshot
 	}
 
@@ -122,7 +157,19 @@ func main() {
 
 	benches := benchmarks.All()
 	start := time.Now()
-	outs, errs := harness.RunPartial(ctx, benches, opts, *par)
+	var (
+		outs    []*harness.Outcome
+		errs    []error
+		samples []harness.BenchSamples
+	)
+	if *count > 1 {
+		// Repeated sweeps feed the per-iteration wall_samples series;
+		// a single-shot run leaves samples nil so the artifact stays
+		// byte-identical to pre-radar files.
+		outs, errs, samples = harness.RunSampledPartial(ctx, benches, opts, *par, *count)
+	} else {
+		outs, errs = harness.RunPartial(ctx, benches, opts, *par)
+	}
 	wall := time.Since(start)
 
 	failed := 0
@@ -134,11 +181,14 @@ func main() {
 	}
 	rows := harness.Rows(outs)
 
-	if *jsonOut != "" {
-		bf := harness.BuildBenchFile(benches, outs, errs, *quick, *par, wall)
+	var bf *report.BenchFile
+	if *jsonOut != "" || *baseline != "" {
+		bf = harness.BuildBenchFile(benches, outs, errs, samples, *quick, *par, wall)
 		if err := bf.Validate(); err != nil {
 			fatal(fmt.Errorf("generated bench file fails its own schema: %w", err))
 		}
+	}
+	if *jsonOut != "" {
 		if err := writeFileWith(*jsonOut, func(w io.Writer) error {
 			return report.WriteBenchJSON(w, bf)
 		}); err != nil {
@@ -200,10 +250,47 @@ func main() {
 			fmt.Printf("\n%s PDW solve trace:\n%s\n", o.Benchmark.Name, o.PDW.Stats.Summary())
 		}
 	}
+	if *baseline != "" {
+		base, err := readBenchFile(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+		rep, err := report.Diff(base, bf)
+		if err != nil {
+			fatal(err)
+		}
+		if *md {
+			fmt.Print(rep.Markdown())
+		} else {
+			fmt.Print(rep.Table())
+		}
+		if viol := rep.Gate(*wallGate); len(viol) > 0 {
+			fmt.Fprintf(os.Stderr, "pdwbench: %d regression(s) against baseline %s:\n", len(viol), *baseline)
+			for _, v := range viol {
+				if v.Verdict == report.VerdictMissing {
+					fmt.Fprintf(os.Stderr, "  %s: missing from this run\n", v.Benchmark)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "  %s/%s/%s: %g -> %g\n", v.Benchmark, v.Method, v.Metric, v.Old, v.New)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: no regressions against baseline %s\n", *baseline)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pdwbench: %d of %d benchmarks failed\n", failed, len(benches))
 		os.Exit(1)
 	}
+}
+
+// readBenchFile opens, parses, and schema-validates one bench file.
+func readBenchFile(path string) (*report.BenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return report.ReadBenchJSON(f)
 }
 
 // writeFileWith creates path, streams through write, and closes it,

@@ -26,8 +26,14 @@ import (
 var (
 	benchRunsTotal   = obs.Default().Counter("pdw_harness_benchmarks_total")
 	benchErrorsTotal = obs.Default().Counter("pdw_harness_benchmark_errors_total")
-	workersBusy      = obs.Default().Gauge("pdw_harness_workers_busy")
-	workersTotal     = obs.Default().Gauge("pdw_harness_workers_total")
+	// benchFailuresTotal counts benchmarks a sweep could not complete,
+	// including ones never started because the sweep's context expired —
+	// RunPartial increments it, so failed sweeps are visible in /metrics
+	// and in the BenchFile metrics snapshot (benchErrorsTotal only sees
+	// runs that entered RunBenchmarkContext).
+	benchFailuresTotal = obs.Default().Counter("pdw_harness_benchmark_failures_total")
+	workersBusy        = obs.Default().Gauge("pdw_harness_workers_busy")
+	workersTotal       = obs.Default().Gauge("pdw_harness_workers_total")
 )
 
 // Options tunes an experiment run.
@@ -51,6 +57,11 @@ type Outcome struct {
 	PDW             *pdw.Result
 	// Runtimes of the two optimizers.
 	DAWOTime, PDWTime time.Duration
+	// SynthTime and CompressTime are the shared setup stages that
+	// precede both optimizers (benchmark synthesis and the wash-free
+	// reference compression); together with the optimizers' solve.Stats
+	// phases they give the bench file its per-phase breakdown.
+	SynthTime, CompressTime time.Duration
 }
 
 // RunBenchmark executes both methods on one benchmark.
@@ -84,16 +95,19 @@ func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Opti
 			span.End()
 		}
 	}()
+	t0 := time.Now()
 	syn, err := b.SynthesizeContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
-	t0 := time.Now()
+	synthTime := time.Since(t0)
+	t0 = time.Now()
 	ref, err := pdw.CompressBaseContext(ctx, syn.Schedule, opts.BaseCompressLimit)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: compress base: %w", b.Name, err)
 	}
-	obs.RecordSpan(ctx, "compress-base", t0, time.Since(t0))
+	compressTime := time.Since(t0)
+	obs.RecordSpan(ctx, "compress-base", t0, compressTime)
 
 	t0 = time.Now()
 	dres, err := dawo.OptimizeContext(ctx, syn.Schedule, opts.DAWO)
@@ -138,6 +152,7 @@ func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Opti
 		Base: syn.Schedule, Reference: ref,
 		DAWO: dres, PDW: pres,
 		DAWOTime: dTime, PDWTime: pTime,
+		SynthTime: synthTime, CompressTime: compressTime,
 	}, nil
 }
 
@@ -235,16 +250,75 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	if obs.Enabled() {
+		failed := 0
+		for _, err := range errs {
+			if err != nil {
+				failed++
+			}
+		}
+		if failed > 0 {
+			benchFailuresTotal.Add(int64(failed))
+		}
+	}
 	return outs, errs
+}
+
+// BenchSamples holds the per-iteration wall times (seconds) of one
+// benchmark across a repeated sweep, one series per method. Iterations
+// in which the benchmark failed contribute no sample, so the series
+// may be shorter than the iteration count.
+type BenchSamples struct {
+	DAWOWall, PDWWall []float64
+}
+
+// RunSampledPartial is RunPartial repeated count times (count < 1 is
+// treated as 1), the measurement discipline behind `pdwbench -count`:
+// solver wall times are noisy, and a regression verdict needs a sample
+// set, not a single shot. The returned outcomes and errors are the
+// first iteration's (its outcome also populates the Table II rows);
+// samples[i] collects every iteration's wall times for benches[i],
+// including the first. A benchmark that failed in iteration one keeps
+// its error even if a later iteration succeeds — repeating a sweep
+// must never hide a failure.
+func RunSampledPartial(ctx context.Context, benches []*benchmarks.Benchmark, opts Options,
+	workers, count int) ([]*Outcome, []error, []BenchSamples) {
+
+	if count < 1 {
+		count = 1
+	}
+	samples := make([]BenchSamples, len(benches))
+	outs, errs := RunPartial(ctx, benches, opts, workers)
+	record := func(iter []*Outcome) {
+		for i, o := range iter {
+			if o == nil {
+				continue
+			}
+			samples[i].DAWOWall = append(samples[i].DAWOWall, o.DAWOTime.Seconds())
+			samples[i].PDWWall = append(samples[i].PDWWall, o.PDWTime.Seconds())
+		}
+	}
+	record(outs)
+	for iter := 1; iter < count; iter++ {
+		if ctx.Err() != nil {
+			break
+		}
+		more, _ := RunPartial(ctx, benches, opts, workers)
+		record(more)
+	}
+	return outs, errs, samples
 }
 
 // BuildBenchFile assembles the machine-readable sweep result that
 // cmd/pdwbench -json writes. outs/errs are RunPartial's parallel
-// slices for benches; nil outcomes become Failures entries. The
-// process-wide observability counter snapshot is embedded so a bench
-// file carries its own solver-effort telemetry.
+// slices for benches; nil outcomes become Failures entries. samples
+// (from RunSampledPartial; nil for single-shot sweeps) become the
+// per-method wall_samples series, and each outcome's solve.Stats
+// phases plus the shared setup timings become the per-phase wall-time
+// breakdown. The process-wide observability counter snapshot is
+// embedded so a bench file carries its own solver-effort telemetry.
 func BuildBenchFile(benches []*benchmarks.Benchmark, outs []*Outcome, errs []error,
-	quick bool, workers int, wall time.Duration) *report.BenchFile {
+	samples []BenchSamples, quick bool, workers int, wall time.Duration) *report.BenchFile {
 
 	f := &report.BenchFile{
 		SchemaVersion:    report.BenchSchemaVersion,
@@ -265,8 +339,16 @@ func BuildBenchFile(benches []*benchmarks.Benchmark, outs []*Outcome, errs []err
 			continue
 		}
 		r := o.Row
+		var dawoSamples, pdwSamples []float64
+		if i < len(samples) {
+			dawoSamples, pdwSamples = samples[i].DAWOWall, samples[i].PDWWall
+		}
 		f.Benchmarks = append(f.Benchmarks, report.BenchResult{
 			Name: r.Benchmark, Ops: r.Ops, Devices: r.Devices, Tasks: r.Tasks,
+			SetupSeconds: map[string]float64{
+				"synthesis":     o.SynthTime.Seconds(),
+				"compress-base": o.CompressTime.Seconds(),
+			},
 			DAWO: report.MethodResult{
 				NWash: r.DAWONWash, LWashMM: r.DAWOLWash,
 				TDelaySeconds: r.DAWOTDelay, TAssaySeconds: r.DAWOTAssay,
@@ -275,6 +357,8 @@ func BuildBenchFile(benches []*benchmarks.Benchmark, outs []*Outcome, errs []err
 				BBNodes: o.DAWO.Stats.Nodes(), BBPruned: o.DAWO.Stats.Pruned(),
 				SimplexPivots: o.DAWO.Stats.SimplexIters(),
 				Canceled:      o.DAWO.Stats.Canceled,
+				WallSamples:   dawoSamples,
+				PhaseSeconds:  o.DAWO.Stats.PhaseSeconds(),
 			},
 			PDW: report.MethodResult{
 				NWash: r.PDWNWash, LWashMM: r.PDWLWash,
@@ -285,6 +369,8 @@ func BuildBenchFile(benches []*benchmarks.Benchmark, outs []*Outcome, errs []err
 				SimplexPivots:  o.PDW.Stats.SimplexIters(),
 				WindowsOptimal: o.PDW.WindowsOptimal,
 				Canceled:       o.PDW.Stats.Canceled,
+				WallSamples:    pdwSamples,
+				PhaseSeconds:   o.PDW.Stats.PhaseSeconds(),
 			},
 		})
 	}

@@ -43,6 +43,12 @@ type BenchResult struct {
 	Devices int    `json:"devices"`
 	Tasks   int    `json:"tasks"`
 
+	// SetupSeconds breaks down the wall time of the shared pipeline
+	// stages that precede both optimizers (keys "synthesis" and
+	// "compress-base"). Optional within schema v1: files written before
+	// the regression radar omit it.
+	SetupSeconds map[string]float64 `json:"setup_s,omitempty"`
+
 	DAWO MethodResult `json:"dawo"`
 	PDW  MethodResult `json:"pdw"`
 }
@@ -62,6 +68,18 @@ type MethodResult struct {
 	SimplexPivots   int     `json:"simplex_pivots"`
 	WindowsOptimal  bool    `json:"windows_optimal,omitempty"`
 	Canceled        bool    `json:"canceled,omitempty"`
+
+	// WallSamples are the per-iteration wall times (seconds) of a
+	// `pdwbench -count N` sweep, one entry per completed iteration;
+	// WallSeconds is then the first iteration's time. Optional within
+	// schema v1: single-shot sweeps omit it, and Diff falls back to
+	// fixed-threshold comparison when either side carries too few
+	// samples for a significance test.
+	WallSamples []float64 `json:"wall_samples,omitempty"`
+	// PhaseSeconds breaks the method's wall time down by pipeline phase
+	// (solve.Stats phase names: "wash-insertion", "window-milp",
+	// "verify", ...), summed across rounds. Optional within schema v1.
+	PhaseSeconds map[string]float64 `json:"phase_s,omitempty"`
 }
 
 // BenchFailure records one benchmark that failed to complete.
@@ -102,6 +120,11 @@ func (f *BenchFile) Validate() error {
 		if b.Ops <= 0 || b.Tasks <= 0 {
 			return fmt.Errorf("benchjson: %s: ops=%d tasks=%d must be positive", b.Name, b.Ops, b.Tasks)
 		}
+		for phase, sec := range b.SetupSeconds {
+			if sec < 0 {
+				return fmt.Errorf("benchjson: %s: setup_s[%s] %g is negative", b.Name, phase, sec)
+			}
+		}
 		for _, m := range []struct {
 			method string
 			r      MethodResult
@@ -136,6 +159,16 @@ func (m MethodResult) validate() error {
 		return fmt.Errorf("wall_s %g is negative", m.WallSeconds)
 	case m.BBNodes < 0 || m.SimplexPivots < 0:
 		return fmt.Errorf("bb_nodes %d / simplex_pivots %d negative", m.BBNodes, m.SimplexPivots)
+	}
+	for i, s := range m.WallSamples {
+		if s < 0 {
+			return fmt.Errorf("wall_samples[%d] %g is negative", i, s)
+		}
+	}
+	for phase, sec := range m.PhaseSeconds {
+		if sec < 0 {
+			return fmt.Errorf("phase_s[%s] %g is negative", phase, sec)
+		}
 	}
 	return nil
 }

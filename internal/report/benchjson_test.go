@@ -52,6 +52,24 @@ func TestBenchFileValidate(t *testing.T) {
 		{"valid", func(f *BenchFile) {}, ""},
 		{"wrong schema version", func(f *BenchFile) { f.SchemaVersion = 2 }, "schema_version"},
 		{"bad timestamp", func(f *BenchFile) { f.GeneratedAt = "yesterday" }, "RFC 3339"},
+		{"empty timestamp", func(f *BenchFile) { f.GeneratedAt = "" }, "RFC 3339"},
+		{"date-only timestamp", func(f *BenchFile) { f.GeneratedAt = "2026-08-06" }, "RFC 3339"},
+		{"no-zone timestamp", func(f *BenchFile) { f.GeneratedAt = "2026-08-06T12:00:00" }, "RFC 3339"},
+		{"impossible timestamp", func(f *BenchFile) { f.GeneratedAt = "2026-13-40T99:99:99Z" }, "RFC 3339"},
+		{"negative sample", func(f *BenchFile) {
+			f.Benchmarks[0].PDW.WallSamples = []float64{0.5, -0.1}
+		}, "wall_samples"},
+		{"negative phase", func(f *BenchFile) {
+			f.Benchmarks[0].PDW.PhaseSeconds = map[string]float64{"window-milp": -1}
+		}, "phase_s"},
+		{"negative setup", func(f *BenchFile) {
+			f.Benchmarks[0].SetupSeconds = map[string]float64{"synthesis": -1}
+		}, "setup_s"},
+		{"samples and phases valid", func(f *BenchFile) {
+			f.Benchmarks[0].PDW.WallSamples = []float64{0.5, 0.6, 0.7}
+			f.Benchmarks[0].PDW.PhaseSeconds = map[string]float64{"window-milp": 0.3}
+			f.Benchmarks[0].SetupSeconds = map[string]float64{"synthesis": 0.1}
+		}, ""},
 		{"missing go version", func(f *BenchFile) { f.GoVersion = "" }, "go_version"},
 		{"negative wall", func(f *BenchFile) { f.TotalWallSeconds = -1 }, "total_wall_seconds"},
 		{"empty file", func(f *BenchFile) { f.Benchmarks, f.Failures = nil, nil }, "no benchmarks"},

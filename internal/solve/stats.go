@@ -101,6 +101,26 @@ func (s *Stats) StartPhaseContext(ctx context.Context, name string) (context.Con
 	}
 }
 
+// PhaseSeconds sums the recorded phase wall times by name, in seconds.
+// It returns nil when no phases were recorded, so callers can embed the
+// map directly into omitempty JSON fields (the bench-file per-phase
+// breakdown in internal/report).
+func (s *Stats) PhaseSeconds() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.Phases) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(s.Phases))
+	for _, p := range s.Phases {
+		out[p.Name] += p.Wall.Seconds()
+	}
+	return out
+}
+
 // AddMILP appends one ILP solve record.
 func (s *Stats) AddMILP(m MILPStat) {
 	if s == nil {

@@ -1,20 +1,44 @@
 #!/bin/sh
 # bench_smoke.sh — fast end-to-end benchmark smoke, available as
 # `make bench-smoke`. Runs the quick sweep with the machine-readable
-# JSON artifact enabled, then validates the artifact against the
-# bench-file schema (internal/report.BenchFile.Validate) via
-# `pdwbench -validate`. Fails if any benchmark fails (pdwbench exits
-# non-zero and lists failures on stderr) or if the generated JSON does
-# not round-trip through the schema.
+# JSON artifact enabled, validates the artifact against the bench-file
+# schema (internal/report.BenchFile.Validate) via `pdwbench -validate`,
+# exercises the regression radar with a self-diff (comparing the
+# artifact against itself must report zero changes), and finally runs a
+# second quick sweep gated against the first as a baseline — making the
+# smoke itself the perf gate. The baseline step only fails wall time on
+# order-of-magnitude growth (-wall-threshold 9 = 10x): quick-budget
+# wall times are millisecond-scale and swing several-fold with machine
+# load. The solution-quality metrics gate exactly where the quick
+# solves complete and by the diff's budget-limited threshold rule where
+# they are truncated. Fails if any benchmark fails, the JSON does not
+# round-trip
+# through the schema, the self-diff reports changes, or the baseline
+# gate detects a regression.
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${BENCH_SMOKE_OUT:-/tmp/pdw_bench_smoke.json}"
+out2="${BENCH_SMOKE_OUT2:-/tmp/pdw_bench_smoke2.json}"
 
 echo "==> pdwbench -quick -json $out"
 go run ./cmd/pdwbench -quick -json "$out" >/dev/null
 
 echo "==> pdwbench -validate $out"
 go run ./cmd/pdwbench -validate "$out"
+
+echo "==> pdwbench -compare $out $out (self-diff must be clean)"
+diff_out=$(go run ./cmd/pdwbench -compare "$out" "$out")
+echo "$diff_out"
+case "$diff_out" in
+*"0 improved, 0 regressed,"*) ;;
+*)
+    echo "bench-smoke: self-diff reported changes" >&2
+    exit 1
+    ;;
+esac
+
+echo "==> pdwbench -quick -baseline $out -json $out2 (perf gate)"
+go run ./cmd/pdwbench -quick -baseline "$out" -json "$out2" -wall-threshold 9 >/dev/null
 
 echo "Bench smoke passed."

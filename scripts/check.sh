@@ -1,13 +1,23 @@
 #!/bin/sh
 # check.sh — the repository's verification gate, also available as
-# `make check`. Runs the tier-1 build, static vet, the fast test suite,
-# and the race-detector pass over the two concurrency-bearing packages
-# (the harness worker pool and the context-cancellable MILP search).
+# `make check`. Runs the tier-1 build, formatting and static checks,
+# the fast test suite, and the race-detector pass over the
+# concurrency-bearing packages (the harness worker pool, the
+# context-cancellable MILP search, the observability layer, and the
+# bench-diff report helpers read concurrently by tooling).
 #
 # The full (non-short) suite, including the complete Table II sweeps,
 # is `go test ./...` and takes many minutes on a small machine.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not gofmt-formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -18,7 +28,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs"
-go test -race -short ./internal/harness ./internal/milp ./internal/obs
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report
 
 echo "All checks passed."
