@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race check bench bench-smoke bench-diff
+.PHONY: build vet test test-full race check bench bench-smoke bench-diff corpus-oracle fuzz
 
 build:
 	go build ./...
@@ -16,7 +16,7 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus
 
 # The verification gate: build + gofmt + vet + fast tests + race pass.
 check:
@@ -46,3 +46,18 @@ WALL_THRESHOLD ?= 0.20
 bench-diff:
 	go run ./cmd/pdwbench -count $(COUNT) -json $(BENCH_DIFF_OUT) \
 		-baseline $(BASE) -wall-threshold $(WALL_THRESHOLD)
+
+# Differential oracle over a seeded generated corpus: solve every
+# instance with PDW, DAWO, and per-wash exact ILPs, and fail on any
+# cross-solver invariant violation (see internal/corpus/oracle.go).
+CORPUS_N ?= 24
+CORPUS_SEED ?= 1
+corpus-oracle:
+	go run ./cmd/pdwbench -corpus $(CORPUS_N) -corpus-seed $(CORPUS_SEED) -quick -oracle
+
+# Short fuzz pass over the corpus generator pipeline (the committed
+# seeds under internal/corpus/testdata/fuzz run in every `make test`).
+FUZZTIME ?= 30s
+fuzz:
+	go test ./internal/corpus/ -run '^$$' -fuzz FuzzGenerate -fuzztime $(FUZZTIME)
+	go test ./internal/report/ -run '^$$' -fuzz FuzzReadBenchJSON -fuzztime $(FUZZTIME)

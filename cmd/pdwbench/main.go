@@ -19,6 +19,13 @@
 //	pdwbench -compare -md old.json new.json # ... as a markdown table
 //	pdwbench -baseline old.json   # run the sweep, diff against old.json,
 //	                              # exit non-zero on significant regression
+//	pdwbench -corpus 50           # sweep a seeded 50-instance generated corpus
+//	                              # instead of the Table II benchmarks
+//	pdwbench -corpus 50 -corpus-seed 7 # ... from a different master seed
+//	pdwbench -corpus 50 -shard 1/4 # run only the second of four shards
+//	pdwbench -merge out.json s0.json s1.json # merge per-shard bench files
+//	pdwbench -corpus 50 -oracle   # differential oracle over the corpus:
+//	                              # cross-solver invariants, exit 1 on violation
 //	pdwbench -trace out.trace.json # Chrome trace-event span dump (Perfetto)
 //	pdwbench -events out.jsonl    # JSONL span event log
 //	pdwbench -listen :8080        # live /metrics, /debug/vars, /debug/pprof
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/corpus"
 	"pathdriverwash/internal/harness"
 	"pathdriverwash/internal/obs"
 	"pathdriverwash/internal/pdw"
@@ -71,6 +79,12 @@ func main() {
 		md       = flag.Bool("md", false, "render -compare / -baseline diffs as markdown")
 		baseline = flag.String("baseline", "", "bench JSON baseline: run the sweep, diff against it, exit non-zero on regression")
 		wallGate = flag.Float64("wall-threshold", 0.20, "relative wall-time regression that fails -baseline (0.20 = +20%)")
+		corpusN  = flag.Int("corpus", 0, "sweep a seeded generated corpus of this many instances instead of the Table II benchmarks")
+		corpSeed = flag.Uint64("corpus-seed", 1, "master seed of the -corpus sweep")
+		shard    = flag.String("shard", "", "run only shard i of n (\"i/n\", 0-based) of the benchmark list")
+		merge    = flag.Bool("merge", false, "merge per-shard bench files (out in1 in2 ...) and exit")
+		oracle   = flag.Bool("oracle", false, "run the differential oracle over the benchmark list and exit")
+		quality  = flag.Bool("quality", false, "with -compare: diff only the deterministic solution-quality metrics, not wall_s")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event span dump to this file")
 		events   = flag.String("events", "", "stream span events as JSON lines to this file")
 		listen   = flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
@@ -96,7 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := report.Diff(oldFile, newFile)
+		rep, err := report.DiffOpts(oldFile, newFile, report.DiffOptions{QualityOnly: *quality})
 		if err != nil {
 			fatal(err)
 		}
@@ -105,6 +119,31 @@ func main() {
 		} else {
 			fmt.Print(rep.Table())
 		}
+		return
+	}
+	if *merge {
+		if flag.NArg() < 3 {
+			fatal(fmt.Errorf("-merge needs an output and at least two inputs: pdwbench -merge out.json shard0.json shard1.json ..."))
+		}
+		files := make([]*report.BenchFile, 0, flag.NArg()-1)
+		for _, path := range flag.Args()[1:] {
+			f, err := readBenchFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			files = append(files, f)
+		}
+		merged, err := report.Merge(files)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFileWith(flag.Arg(0), func(w io.Writer) error {
+			return report.WriteBenchJSON(w, merged)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: merged %d shards, %d benchmarks, %d failures\n",
+			flag.Arg(0), len(files), len(merged.Benchmarks), len(merged.Failures))
 		return
 	}
 
@@ -156,6 +195,55 @@ func main() {
 	}
 
 	benches := benchmarks.All()
+	if *corpusN > 0 {
+		cs, err := corpus.GenerateSweep(ctx, corpus.SweepConfig{Seed: *corpSeed, N: *corpusN})
+		if err != nil {
+			fatal(err)
+		}
+		benches = cs
+		// Corpus sweeps run the deterministic heuristic pipeline: the
+		// generator's washability guarantee is proven with heuristic
+		// paths and greedy windows (corpus.LevelWashable), and exact-ILP
+		// behavior is the -oracle mode's job. This also keeps sharded
+		// sweeps byte-reproducible: no ILP time limits to truncate
+		// differently between runs.
+		opts.PDW.HeuristicPaths = true
+		opts.PDW.HeuristicWindows = true
+	}
+	if *shard != "" {
+		idx, cnt, err := harness.ParseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		if benches, err = harness.Shard(benches, idx, cnt); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdwbench: shard %s: %d benchmarks\n", *shard, len(benches))
+	}
+	if *oracle {
+		oo := corpus.OracleOptions{}
+		if *quick {
+			oo.PathTimeLimit = 500 * time.Millisecond
+			oo.MaxPathChecks = 3
+		}
+		verdicts, viols, err := corpus.CheckCorpus(ctx, benches, oo)
+		if err != nil {
+			fatal(err)
+		}
+		checks := 0
+		for _, v := range verdicts {
+			checks += v.PathChecks
+		}
+		fmt.Printf("oracle: %d instances, %d exact-vs-heuristic path checks, %d violations\n",
+			len(verdicts), checks, len(viols))
+		if len(viols) > 0 {
+			for _, v := range viols {
+				fmt.Fprintf(os.Stderr, "pdwbench: oracle violation: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	start := time.Now()
 	var (
 		outs    []*harness.Outcome

@@ -15,6 +15,7 @@ package benchmarks
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"pathdriverwash/internal/assay"
 	"pathdriverwash/internal/grid"
@@ -64,12 +65,18 @@ func All() []*Benchmark {
 
 // ByName looks a benchmark up by its Table II name.
 func ByName(name string) (*Benchmark, error) {
-	for _, b := range All() {
+	all := All()
+	for _, b := range all {
 		if b.Name == name {
 			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return nil, fmt.Errorf("benchmarks: unknown benchmark %q (valid: %s)",
+		name, strings.Join(names, ", "))
 }
 
 func op(id string, k assay.OpKind, dur int, out assay.FluidType, reagents ...assay.FluidType) *assay.Operation {

@@ -67,6 +67,21 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestByNameErrorListsValidNames pins the unknown-name message: it
+// must quote the bad name and enumerate every valid one in Table II
+// order, so a typo on the pdwbench command line is self-correcting.
+func TestByNameErrorListsValidNames(t *testing.T) {
+	_, err := ByName("pcr")
+	if err == nil {
+		t.Fatal("lookup is not case-sensitive?")
+	}
+	const want = `benchmarks: unknown benchmark "pcr" (valid: PCR, IVD, ProteinSplit, ` +
+		`Kinase act-1, Kinase act-2, Synthetic1, Synthetic2, Synthetic3)`
+	if got := err.Error(); got != want {
+		t.Errorf("error message drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
 func TestSyntheticDeterministic(t *testing.T) {
 	a1, a2 := Synthetic1().Assay, Synthetic1().Assay
 	o1, _ := a1.TopoOrder()

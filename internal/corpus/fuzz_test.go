@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// FuzzGenerate drives arbitrary parameter tuples through the full
+// generate → validate → solve pipeline. Whatever the inputs, Generate
+// must never panic; every accepted instance must be deterministic
+// (same params, same fingerprint) and structurally valid; and small
+// instances additionally go through the washability proof, whose
+// solver stack (synthesis, PDW heuristics, DAWO, verifier, sim
+// replay) must not panic either — rejection is fine, crashing is not.
+// The committed corpus under testdata/fuzz/FuzzGenerate seeds one
+// tuple per DAG shape plus the boundary cases that found nothing by
+// accident: zero/negative/huge op counts, out-of-range shapes and
+// densities.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint64(1), 8, 0, 0.5, 0.5)
+	f.Add(uint64(2), 10, 1, 1.0, 0.0)
+	f.Add(uint64(3), 12, 2, 0.25, 1.0)
+	f.Add(uint64(4), 6, 3, 0.6, 0.5)
+	f.Add(uint64(0), 0, 0, 0.0, 0.0)
+	f.Add(uint64(99), -5, 17, -1.0, 2.0)
+	f.Add(uint64(7), 1, 2, 1.5, 0.3)
+	f.Add(^uint64(0), 200000, -1, 0.9, 0.9)
+
+	f.Fuzz(func(t *testing.T, seed uint64, ops, shape int, density, reagentRate float64) {
+		p := Params{
+			Seed:        seed,
+			Ops:         ops,
+			Shape:       Shape(shape),
+			Density:     density,
+			ReagentRate: reagentRate,
+		}
+		b, err := Generate(p)
+		if err != nil {
+			return // out-of-range params are rejected, not crashed on
+		}
+		// Accepted instances are pure functions of their params.
+		b2, err := Generate(p)
+		if err != nil {
+			t.Fatalf("second Generate of accepted params failed: %v", err)
+		}
+		f1, err := Fingerprint(b)
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		f2, err := Fingerprint(b2)
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		if f1 != f2 {
+			t.Fatalf("same params, different fingerprints: %s vs %s", f1, f2)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := Validate(ctx, b, LevelStructural); err != nil {
+			t.Fatalf("generated instance fails structural validation: %v", err)
+		}
+		// Small instances go through the full washability proof — the
+		// solve stage of the pipeline. Unwashable draws are legitimate;
+		// the assertion is that the solvers never panic. The workload
+		// gate matters: reagent-heavy draws solve in tens of seconds
+		// (far past the fuzzer's hang detector), so the solve stage
+		// only runs when both the op count and the injection load are
+		// small. The seed corpus keeps one reagent-heavy tuple
+		// (seed-slow-pipeline) to pin generation robustness there.
+		if ops <= 12 && reagentRate <= 1 {
+			wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+			_ = Validate(wctx, b, LevelWashable)
+			wcancel()
+		}
+	})
+}

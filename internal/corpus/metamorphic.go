@@ -1,0 +1,192 @@
+package corpus
+
+import (
+	"fmt"
+
+	"pathdriverwash/internal/assay"
+	"pathdriverwash/internal/benchmarks"
+	"strings"
+
+	"pathdriverwash/internal/geom"
+	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/schedule"
+)
+
+// The metamorphic transformations: semantics-preserving rewrites of an
+// assay under which the optimizers' solution quality must not move.
+// Fluid types are opaque identities (only equality matters, and the
+// distinguished Waste type is never renamed), and operation IDs are
+// opaque labels, so a bijective relabeling of either changes nothing
+// the paper's model can observe — n_wash and l_wash_mm must come out
+// identical. The differential oracle and the metamorphic test suite in
+// internal/benchmarks both assert exactly that.
+
+// RelabelFluids returns a deep copy of the assay with every fluid type
+// renamed through a seed-derived bijection. The distinguished
+// assay.Waste type keeps its name: the Type-3 rule keys on it.
+func RelabelFluids(a *assay.Assay, seed uint64) (*assay.Assay, error) {
+	// Collect distinct fluids in first-use order (deterministic).
+	var fluids []assay.FluidType
+	seen := map[assay.FluidType]bool{assay.Waste: true}
+	note := func(f assay.FluidType) {
+		if !seen[f] {
+			seen[f] = true
+			fluids = append(fluids, f)
+		}
+	}
+	for _, o := range a.Ops() {
+		note(o.Output)
+		for _, rg := range o.Reagents {
+			note(rg)
+		}
+	}
+	// Bijection: shuffle the positions, then mint fresh names in
+	// shuffled order. Distinct inputs keep distinct outputs.
+	r := newRNG(seed)
+	perm := permutation(r, len(fluids))
+	rename := map[assay.FluidType]assay.FluidType{assay.Waste: assay.Waste}
+	for i, f := range fluids {
+		rename[f] = assay.FluidType(fmt.Sprintf("mf%d", perm[i]))
+	}
+	return rebuild(a, func(o *assay.Operation) *assay.Operation {
+		c := *o
+		c.Output = rename[o.Output]
+		c.Reagents = make([]assay.FluidType, len(o.Reagents))
+		for i, rg := range o.Reagents {
+			c.Reagents[i] = rename[rg]
+		}
+		return &c
+	}, func(id string) string { return id })
+}
+
+// PermuteOpIDs returns a deep copy of the base schedule (and its
+// assay) with the operation IDs permuted among the operations: the ID
+// set is unchanged, the assignment is shuffled, and every reference —
+// OpID / EdgeFrom / EdgeTo plus the op components embedded in synth's
+// systematic task IDs (op-X, tr-X-Y, inj-X-k, rm-X-Y, rm-inj-X-k,
+// disp-X) — is renamed consistently. Insertion orders are preserved.
+//
+// The transformation deliberately operates on the wash optimizers'
+// input, not on the assay fed to synthesis: architectural synthesis
+// breaks placement/binding ties on sorted operation IDs, so permuting
+// IDs upstream of synth yields a physically different chip — a
+// different problem, not a relabeled one. Holding the chip and base
+// schedule fixed, operation IDs are pure labels, and PDW/DAWO solution
+// quality (n_wash, l_wash_mm) must be identical on the permuted copy.
+func PermuteOpIDs(s *schedule.Schedule, seed uint64) (*schedule.Schedule, error) {
+	ops := s.Assay.Ops()
+	perm := permutation(newRNG(seed), len(ops))
+	rename := make(map[string]string, len(ops))
+	for i, o := range ops {
+		rename[o.ID] = ops[perm[i]].ID
+	}
+	renamed, err := rebuild(s.Assay, func(o *assay.Operation) *assay.Operation {
+		c := *o
+		c.Reagents = append([]assay.FluidType(nil), o.Reagents...)
+		return &c
+	}, func(id string) string { return rename[id] })
+	if err != nil {
+		return nil, err
+	}
+	ref := func(id string) string {
+		if id == "" {
+			return ""
+		}
+		return rename[id]
+	}
+	out := schedule.New(s.Chip, renamed)
+	for _, t := range s.Tasks() {
+		cp := *t
+		cp.Path = grid.NewPath(append([]geom.Point(nil), t.Path.Cells...)...)
+		cp.WashTargets = append([]geom.Point(nil), t.WashTargets...)
+		cp.ContamCells = append([]geom.Point(nil), t.ContamCells...)
+		cp.ExcessCells = append([]geom.Point(nil), t.ExcessCells...)
+		cp.SensitiveCells = append([]geom.Point(nil), t.SensitiveCells...)
+		cp.ID = permuteTaskID(t, rename)
+		cp.OpID = ref(t.OpID)
+		cp.EdgeFrom = ref(t.EdgeFrom)
+		cp.EdgeTo = ref(t.EdgeTo)
+		if err := out.Add(&cp); err != nil {
+			return nil, fmt.Errorf("corpus: permute %s: %w", s.Assay.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// permuteTaskID rewrites the op-ID components of synth's systematic
+// task IDs. Replanning reconstructs peer task IDs from op references
+// (e.g. the transport behind a removal is "tr-"+from+"-"+to), so the
+// task names and the renamed edge fields must stay in sync. The match
+// is anchored on the task's own fields — never parsed out of the ID
+// string, since op IDs may themselves contain dashes.
+func permuteTaskID(t *schedule.Task, rename map[string]string) string {
+	switch t.Kind {
+	case schedule.Operation:
+		if t.ID == "op-"+t.OpID {
+			return "op-" + rename[t.OpID]
+		}
+	case schedule.Transport:
+		if t.EdgeFrom != "" && t.ID == "tr-"+t.EdgeFrom+"-"+t.EdgeTo {
+			return "tr-" + rename[t.EdgeFrom] + "-" + rename[t.EdgeTo]
+		}
+		if pfx := "inj-" + t.EdgeTo + "-"; t.EdgeFrom == "" && strings.HasPrefix(t.ID, pfx) {
+			return "inj-" + rename[t.EdgeTo] + "-" + t.ID[len(pfx):]
+		}
+	case schedule.Removal:
+		if t.EdgeFrom != "" && t.ID == "rm-"+t.EdgeFrom+"-"+t.EdgeTo {
+			return "rm-" + rename[t.EdgeFrom] + "-" + rename[t.EdgeTo]
+		}
+		if pfx := "rm-inj-" + t.EdgeTo + "-"; t.EdgeFrom == "" && strings.HasPrefix(t.ID, pfx) {
+			return "rm-inj-" + rename[t.EdgeTo] + "-" + t.ID[len(pfx):]
+		}
+	case schedule.WasteDisposal:
+		if t.ID == "disp-"+t.EdgeFrom {
+			return "disp-" + rename[t.EdgeFrom]
+		}
+	}
+	return t.ID
+}
+
+// rebuild copies the assay through the public constructor API, mapping
+// each operation through cloneOp and each ID through renameID.
+func rebuild(a *assay.Assay, cloneOp func(*assay.Operation) *assay.Operation,
+	renameID func(string) string) (*assay.Assay, error) {
+
+	out := assay.New(a.Name)
+	for _, o := range a.Ops() {
+		c := cloneOp(o)
+		c.ID = renameID(o.ID)
+		if err := out.AddOp(c); err != nil {
+			return nil, fmt.Errorf("corpus: rebuild %s: %w", a.Name, err)
+		}
+	}
+	for _, e := range a.Edges() {
+		if err := out.AddEdge(renameID(e.From), renameID(e.To)); err != nil {
+			return nil, fmt.Errorf("corpus: rebuild %s: %w", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// permutation is a seeded Fisher-Yates shuffle of 0..n-1.
+func permutation(r *rng, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// RelabelBenchmark is RelabelFluids lifted to a benchmark (the device
+// library and name carry over unchanged).
+func RelabelBenchmark(b *benchmarks.Benchmark, seed uint64) (*benchmarks.Benchmark, error) {
+	a, err := RelabelFluids(b.Assay, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &benchmarks.Benchmark{Name: b.Name, Assay: a, Config: b.Config, Paper: b.Paper}, nil
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pathdriverwash/internal/benchmarks"
+)
+
+// Shard selects the index-th of count round-robin shards of a
+// benchmark list: instance i belongs to shard i mod count. Because
+// membership depends only on an instance's position in the full list
+// (never on count-specific renaming), the union of all count shards is
+// exactly the input, and a merged sharded sweep carries the same
+// benchmark names as an unsharded one — the regression radar diffs
+// them as identical populations.
+func Shard(benches []*benchmarks.Benchmark, index, count int) ([]*benchmarks.Benchmark, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("harness: shard count %d < 1", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("harness: shard index %d out of range [0,%d)", index, count)
+	}
+	out := make([]*benchmarks.Benchmark, 0, (len(benches)+count-1)/count)
+	for i := index; i < len(benches); i += count {
+		out = append(out, benches[i])
+	}
+	return out, nil
+}
+
+// ParseShard parses the "i/n" syntax of pdwbench's -shard flag
+// (0-based index, e.g. "0/4" … "3/4").
+func ParseShard(s string) (index, count int, err error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("harness: shard %q is not i/n", s)
+	}
+	index, err = strconv.Atoi(idx)
+	if err != nil {
+		return 0, 0, fmt.Errorf("harness: shard index %q: %w", idx, err)
+	}
+	count, err = strconv.Atoi(cnt)
+	if err != nil {
+		return 0, 0, fmt.Errorf("harness: shard count %q: %w", cnt, err)
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("harness: shard count %d < 1", count)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("harness: shard index %d out of range [0,%d)", index, count)
+	}
+	return index, count, nil
+}

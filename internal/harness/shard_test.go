@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"pathdriverwash/internal/benchmarks"
+)
+
+func namedBenches(n int) []*benchmarks.Benchmark {
+	out := make([]*benchmarks.Benchmark, n)
+	for i := range out {
+		out[i] = &benchmarks.Benchmark{Name: fmt.Sprintf("b%02d", i)}
+	}
+	return out
+}
+
+// TestShardPartition pins the round-robin contract: for every shard
+// count, the shards are disjoint, cover the input exactly, and
+// interleaving them by original position reconstructs the input order.
+func TestShardPartition(t *testing.T) {
+	benches := namedBenches(11)
+	for _, count := range []int{1, 2, 3, 4, 11, 16} {
+		seen := map[string]int{}
+		total := 0
+		for index := 0; index < count; index++ {
+			shard, err := Shard(benches, index, count)
+			if err != nil {
+				t.Fatalf("count=%d index=%d: %v", count, index, err)
+			}
+			for j, b := range shard {
+				if prev, dup := seen[b.Name]; dup {
+					t.Errorf("count=%d: %s in shards %d and %d", count, b.Name, prev, index)
+				}
+				seen[b.Name] = index
+				// Round-robin: shard element j is input element index+j*count.
+				if want := benches[index+j*count]; b != want {
+					t.Errorf("count=%d index=%d: shard[%d] = %s, want %s", count, index, j, b.Name, want.Name)
+				}
+			}
+			total += len(shard)
+		}
+		if total != len(benches) {
+			t.Errorf("count=%d: shards cover %d of %d benchmarks", count, total, len(benches))
+		}
+	}
+}
+
+func TestShardMoreShardsThanBenches(t *testing.T) {
+	benches := namedBenches(2)
+	s, err := Shard(benches, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 0 {
+		t.Errorf("shard 3/4 of 2 benchmarks has %d entries, want 0", len(s))
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	benches := namedBenches(3)
+	if _, err := Shard(benches, 0, 0); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := Shard(benches, -1, 2); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := Shard(benches, 2, 2); err == nil {
+		t.Error("index == count accepted")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in         string
+		index, cnt int
+		wantErr    bool
+	}{
+		{"0/1", 0, 1, false},
+		{"0/4", 0, 4, false},
+		{"3/4", 3, 4, false},
+		{"10/16", 10, 16, false},
+		{"", 0, 0, true},
+		{"3", 0, 0, true},
+		{"a/4", 0, 0, true},
+		{"0/b", 0, 0, true},
+		{"1/2/3", 0, 0, true},
+		{"-1/4", 0, 0, true},
+		{"4/4", 0, 0, true},
+		{"0/0", 0, 0, true},
+		{"0/-1", 0, 0, true},
+	}
+	for _, tc := range cases {
+		index, cnt, err := ParseShard(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseShard(%q) accepted, got %d/%d", tc.in, index, cnt)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", tc.in, err)
+			continue
+		}
+		if index != tc.index || cnt != tc.cnt {
+			t.Errorf("ParseShard(%q) = %d/%d, want %d/%d", tc.in, index, cnt, tc.index, tc.cnt)
+		}
+	}
+}

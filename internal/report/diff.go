@@ -38,6 +38,11 @@ type DiffOptions struct {
 	// statistical significance in sample mode (default 0.005); it keeps
 	// microscopic-but-significant timing shifts out of the verdicts.
 	MinEffect float64
+	// QualityOnly drops the wall_s metric from the comparison, leaving
+	// only the deterministic solution-quality metrics. Two runs of the
+	// same sweep (e.g. a sharded sweep merged back together versus the
+	// unsharded run) must then diff as fully unchanged.
+	QualityOnly bool
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -203,6 +208,9 @@ func DiffOpts(old, new *BenchFile, opts DiffOptions) (*DiffReport, error) {
 			}
 			for _, method := range []string{"dawo", "pdw"} {
 				for _, m := range diffMetrics {
+					if opts.QualityOnly && m.name == "wall_s" {
+						continue
+					}
 					rep.Diffs = append(rep.Diffs, MetricDiff{
 						Benchmark: name, Method: method, Metric: m.name,
 						Verdict: VerdictMissing, P: math.NaN(),
@@ -219,6 +227,9 @@ func DiffOpts(old, new *BenchFile, opts DiffOptions) (*DiffReport, error) {
 			{"pdw", &ob.PDW, &nb.PDW},
 		} {
 			for _, m := range diffMetrics {
+				if opts.QualityOnly && m.name == "wall_s" {
+					continue
+				}
 				d := MetricDiff{Benchmark: name, Method: pair.method, Metric: m.name, P: math.NaN()}
 				var oldSamples, newSamples []float64
 				if m.samples != nil {

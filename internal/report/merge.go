@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+)
+
+// Merge combines per-shard bench files from one sharded sweep into a
+// single artifact the regression radar can diff. Benchmarks and
+// failures concatenate in input order (deterministic: shard files are
+// passed in shard order, and each shard preserves its own sweep
+// order), wall-clock totals and metrics sum, and the merged file
+// carries the earliest GeneratedAt so re-merging is reproducible.
+//
+// Shards must be homogeneous: same schema version, same Quick flag
+// (quick and full numbers must never mix — the same rule Diff
+// enforces), and disjoint benchmark names. A name appearing in two
+// shards means the shard split was wrong, not that one should win.
+func Merge(files []*BenchFile) (*BenchFile, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("benchjson: merge of zero files")
+	}
+	for i, f := range files {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("benchjson: merge input %d: %w", i, err)
+		}
+		if f.Quick != files[0].Quick {
+			return nil, fmt.Errorf("benchjson: merge input %d: quick=%v but input 0 has quick=%v",
+				i, f.Quick, files[0].Quick)
+		}
+	}
+	out := &BenchFile{
+		SchemaVersion: BenchSchemaVersion,
+		GeneratedAt:   files[0].GeneratedAt,
+		GoVersion:     files[0].GoVersion,
+		Quick:         files[0].Quick,
+	}
+	seen := map[string]int{}
+	for i, f := range files {
+		if f.GeneratedAt < out.GeneratedAt {
+			out.GeneratedAt = f.GeneratedAt
+		}
+		if f.Workers > out.Workers {
+			out.Workers = f.Workers
+		}
+		out.TotalWallSeconds += f.TotalWallSeconds
+		for _, b := range f.Benchmarks {
+			if j, dup := seen[b.Name]; dup {
+				return nil, fmt.Errorf("benchjson: benchmark %q in both merge inputs %d and %d",
+					b.Name, j, i)
+			}
+			seen[b.Name] = i
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+		for _, fl := range f.Failures {
+			if j, dup := seen[fl.Name]; dup {
+				return nil, fmt.Errorf("benchjson: benchmark %q in both merge inputs %d and %d",
+					fl.Name, j, i)
+			}
+			seen[fl.Name] = i
+			out.Failures = append(out.Failures, fl)
+		}
+		for k, v := range f.Metrics {
+			if out.Metrics == nil {
+				out.Metrics = map[string]float64{}
+			}
+			out.Metrics[k] += v
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("benchjson: merged file invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// shardFile builds a valid one-benchmark shard for merge tests.
+func shardFile(name, generatedAt string, wall float64) *BenchFile {
+	f := validBenchFile()
+	f.GeneratedAt = generatedAt
+	f.TotalWallSeconds = wall
+	f.Benchmarks[0].Name = name
+	return f
+}
+
+func TestMergeShards(t *testing.T) {
+	a := shardFile("c0000-layered-o8", "2026-08-06T12:00:00Z", 10)
+	a.Workers = 2
+	a.Metrics = map[string]float64{"pdw_bb_nodes_total": 30, "pdw_solves_total": 1}
+	b := shardFile("c0001-pipeline-o12", "2026-08-06T11:00:00Z", 5)
+	b.Workers = 4
+	b.Metrics = map[string]float64{"pdw_bb_nodes_total": 20}
+	b.Failures = []BenchFailure{{Name: "c0003-panel-o9", Error: "synthesis: no feasible placement"}}
+
+	m, err := Merge([]*BenchFile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged file invalid: %v", err)
+	}
+	if got := len(m.Benchmarks); got != 2 {
+		t.Fatalf("merged %d benchmarks, want 2", got)
+	}
+	// Concatenation preserves input order: shard 0's rows come first.
+	if m.Benchmarks[0].Name != "c0000-layered-o8" || m.Benchmarks[1].Name != "c0001-pipeline-o12" {
+		t.Errorf("merge reordered benchmarks: %s, %s", m.Benchmarks[0].Name, m.Benchmarks[1].Name)
+	}
+	if len(m.Failures) != 1 || m.Failures[0].Name != "c0003-panel-o9" {
+		t.Errorf("failures not carried through: %+v", m.Failures)
+	}
+	if m.TotalWallSeconds != 15 {
+		t.Errorf("wall seconds %g, want summed 15", m.TotalWallSeconds)
+	}
+	if m.GeneratedAt != "2026-08-06T11:00:00Z" {
+		t.Errorf("generated_at %s, want earliest shard's", m.GeneratedAt)
+	}
+	if m.Workers != 4 {
+		t.Errorf("workers %d, want max 4", m.Workers)
+	}
+	if m.Metrics["pdw_bb_nodes_total"] != 50 || m.Metrics["pdw_solves_total"] != 1 {
+		t.Errorf("metrics not summed: %v", m.Metrics)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	mk := func() []*BenchFile {
+		return []*BenchFile{
+			shardFile("s0", "2026-08-06T12:00:00Z", 1),
+			shardFile("s1", "2026-08-06T12:00:00Z", 2),
+			shardFile("s2", "2026-08-06T12:00:00Z", 3),
+		}
+	}
+	m1, err := Merge(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteBenchJSON(&b1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(&b2, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("merging the same shards twice produced different bytes")
+	}
+}
+
+func TestMergeRoundTrip(t *testing.T) {
+	m, err := Merge([]*BenchFile{
+		shardFile("a", "2026-08-06T12:00:00Z", 1),
+		shardFile("b", "2026-08-06T12:00:00Z", 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatalf("merged file does not round-trip: %v", err)
+	}
+	if len(got.Benchmarks) != 2 || got.TotalWallSeconds != m.TotalWallSeconds {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestMergeRejects(t *testing.T) {
+	valid := func(name string) *BenchFile { return shardFile(name, "2026-08-06T12:00:00Z", 1) }
+	cases := []struct {
+		name    string
+		files   func() []*BenchFile
+		wantErr string
+	}{
+		{"zero files", func() []*BenchFile { return nil }, "zero files"},
+		{"invalid input", func() []*BenchFile {
+			f := valid("a")
+			f.GoVersion = ""
+			return []*BenchFile{f}
+		}, "go_version"},
+		{"quick mismatch", func() []*BenchFile {
+			f := valid("b")
+			f.Quick = false
+			return []*BenchFile{valid("a"), f}
+		}, "quick"},
+		{"duplicate result name", func() []*BenchFile {
+			return []*BenchFile{valid("a"), valid("a")}
+		}, `"a" in both merge inputs 0 and 1`},
+		{"result/failure name collision", func() []*BenchFile {
+			f := valid("b")
+			f.Failures = []BenchFailure{{Name: "a", Error: "boom"}}
+			return []*BenchFile{valid("a"), f}
+		}, `"a" in both merge inputs 0 and 1`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Merge(tc.files())
+			if err == nil {
+				t.Fatalf("merge accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMergeSingleFileIdentity(t *testing.T) {
+	f := shardFile("only", "2026-08-06T12:00:00Z", 7)
+	m, err := Merge([]*BenchFile{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Benchmarks) != 1 || m.Benchmarks[0].Name != "only" || m.TotalWallSeconds != 7 {
+		t.Errorf("single-file merge changed content: %+v", m)
+	}
+}

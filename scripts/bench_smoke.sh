@@ -6,7 +6,10 @@
 # exercises the regression radar with a self-diff (comparing the
 # artifact against itself must report zero changes), and finally runs a
 # second quick sweep gated against the first as a baseline — making the
-# smoke itself the perf gate. The baseline step only fails wall time on
+# smoke itself the perf gate. A final corpus step sweeps the same
+# seeded generated corpus unsharded and as two merged shards and
+# requires the artifacts to be quality-identical, exercising the whole
+# -corpus/-shard/-merge/-compare surface end to end. The baseline step only fails wall time on
 # order-of-magnitude growth (-wall-threshold 9 = 10x): quick-budget
 # wall times are millisecond-scale and swing several-fold with machine
 # load. The solution-quality metrics gate exactly where the quick
@@ -40,5 +43,34 @@ esac
 
 echo "==> pdwbench -quick -baseline $out -json $out2 (perf gate)"
 go run ./cmd/pdwbench -quick -baseline "$out" -json "$out2" -wall-threshold 9 >/dev/null
+
+# Sharded-corpus smoke: the same seeded corpus swept unsharded and as
+# two merged shards must produce quality-identical artifacts. Wall
+# times differ run to run, so the equivalence diff is -quality.
+corpus_full="${BENCH_SMOKE_CORPUS:-/tmp/pdw_corpus_smoke.json}"
+corpus_s0="${BENCH_SMOKE_CORPUS_S0:-/tmp/pdw_corpus_smoke_s0.json}"
+corpus_s1="${BENCH_SMOKE_CORPUS_S1:-/tmp/pdw_corpus_smoke_s1.json}"
+corpus_merged="${BENCH_SMOKE_CORPUS_MERGED:-/tmp/pdw_corpus_smoke_merged.json}"
+
+echo "==> pdwbench -corpus 6 -quick (unsharded corpus sweep)"
+go run ./cmd/pdwbench -corpus 6 -quick -json "$corpus_full" >/dev/null
+
+echo "==> pdwbench -corpus 6 -quick -shard 0/2 and 1/2 (sharded sweep)"
+go run ./cmd/pdwbench -corpus 6 -quick -shard 0/2 -json "$corpus_s0" >/dev/null
+go run ./cmd/pdwbench -corpus 6 -quick -shard 1/2 -json "$corpus_s1" >/dev/null
+
+echo "==> pdwbench -merge $corpus_merged $corpus_s0 $corpus_s1"
+go run ./cmd/pdwbench -merge "$corpus_merged" "$corpus_s0" "$corpus_s1"
+
+echo "==> pdwbench -compare -quality $corpus_full $corpus_merged (shards must merge clean)"
+corpus_diff=$(go run ./cmd/pdwbench -compare -quality "$corpus_full" "$corpus_merged")
+echo "$corpus_diff"
+case "$corpus_diff" in
+*"0 improved, 0 regressed,"*) ;;
+*)
+    echo "bench-smoke: sharded corpus sweep diverged from unsharded" >&2
+    exit 1
+    ;;
+esac
 
 echo "Bench smoke passed."

@@ -3,8 +3,9 @@
 # `make check`. Runs the tier-1 build, formatting and static checks,
 # the fast test suite, and the race-detector pass over the
 # concurrency-bearing packages (the harness worker pool, the
-# context-cancellable MILP search, the observability layer, and the
-# bench-diff report helpers read concurrently by tooling).
+# context-cancellable MILP search, the observability layer, the
+# bench-diff report helpers read concurrently by tooling, and the
+# corpus generator whose sweeps are sharded across processes).
 #
 # The full (non-short) suite, including the complete Table II sweeps,
 # is `go test ./...` and takes many minutes on a small machine.
@@ -28,7 +29,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report"
-go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus
 
 echo "All checks passed."
