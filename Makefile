@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race check bench bench-smoke bench-diff corpus-oracle fuzz
+.PHONY: build vet test test-full race overrun check bench bench-smoke bench-diff corpus-oracle fuzz
 
 build:
 	go build ./...
@@ -16,7 +16,14 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth
+
+# Bounded-overrun regression: on reagent-dense instances whose solves
+# once busted a 2 s deadline by 30+ s, every solver must return within
+# the checkpoint-granularity bound (DESIGN.md "Cancellation granularity
+# contract"). Runs under -race; the bounds scale by raceFactor.
+overrun:
+	go test -race -run TestDeadlineOverrunBounded -v ./internal/corpus
 
 # The verification gate: build + gofmt + vet + fast tests + race pass.
 check:

@@ -212,11 +212,22 @@ func (a *Assay) Sources() []string {
 // the graph has a cycle.
 func (a *Assay) TopoOrder() ([]string, error) {
 	indeg := map[string]int{}
-	for _, o := range a.ops {
+	opIdx := make(map[string]int, len(a.ops))
+	for i, o := range a.ops {
 		indeg[o.ID] = 0
+		opIdx[o.ID] = i
 	}
+	// Successor lists sorted by the successor's insertion index, so a
+	// popped node releases its successors in exactly the order the old
+	// quadratic ops-scan did — the tie-break order is observable through
+	// every downstream schedule.
+	succ := make(map[string][]string, len(a.ops))
 	for _, e := range a.edges {
 		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	for _, s := range succ {
+		sort.Slice(s, func(i, j int) bool { return opIdx[s[i]] < opIdx[s[j]] })
 	}
 	var ready []string
 	for _, o := range a.ops {
@@ -229,14 +240,10 @@ func (a *Assay) TopoOrder() ([]string, error) {
 		id := ready[0]
 		ready = ready[1:]
 		order = append(order, id)
-		for _, o := range a.ops { // insertion order keeps determinism
-			for _, e := range a.edges {
-				if e.From == id && e.To == o.ID {
-					indeg[o.ID]--
-					if indeg[o.ID] == 0 {
-						ready = append(ready, o.ID)
-					}
-				}
+		for _, to := range succ[id] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
 			}
 		}
 	}

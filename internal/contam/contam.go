@@ -21,12 +21,14 @@
 package contam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pathdriverwash/internal/assay"
 	"pathdriverwash/internal/geom"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 )
 
 // Event is one contamination: cell (x,y) carries residue Fluid from time
@@ -130,8 +132,36 @@ func Analyze(s *schedule.Schedule) (*Analysis, error) {
 	return AnalyzeWithPolicy(s, Policy{})
 }
 
+// AnalyzeContext is Analyze under a context: the event-collection and
+// requirement-derivation loops poll an amortized checkpoint and abort
+// with ErrBudgetExceeded once the context is done. A partial analysis
+// is never returned — callers that must finish (the wash-insertion
+// fixpoints, which need a complete analysis to stay sound) keep using
+// Analyze; callers that can reject (the corpus washability proof, the
+// differential oracle) use this form so a deadline cannot be overrun
+// by one large analysis.
+func AnalyzeContext(ctx context.Context, s *schedule.Schedule) (*Analysis, error) {
+	return AnalyzeWithPolicyContext(ctx, s, Policy{})
+}
+
 // AnalyzeWithPolicy is Analyze under an explicit conservatism policy.
 func AnalyzeWithPolicy(s *schedule.Schedule, pol Policy) (*Analysis, error) {
+	return analyzeWithPolicy(nil, s, pol)
+}
+
+// AnalyzeWithPolicyContext is AnalyzeContext under an explicit policy.
+func AnalyzeWithPolicyContext(ctx context.Context, s *schedule.Schedule, pol Policy) (*Analysis, error) {
+	cp := solve.NewCheckpoint(ctx)
+	return analyzeWithPolicy(&cp, s, pol)
+}
+
+// cancelErr wraps a checkpoint cancellation in the contam error
+// contract.
+func cancelErr(err error) error {
+	return fmt.Errorf("contam: analysis canceled: %w: %w", solve.ErrBudgetExceeded, err)
+}
+
+func analyzeWithPolicy(cp *solve.Checkpoint, s *schedule.Schedule, pol Policy) (*Analysis, error) {
 	an := &Analysis{Skips: map[SkipReason]int{}}
 
 	events := map[geom.Point][]Event{} // contaminations per cell
@@ -140,6 +170,9 @@ func AnalyzeWithPolicy(s *schedule.Schedule, pol Policy) (*Analysis, error) {
 	wasteUse := map[geom.Point][]int{} // waste-carrier use starts (Type 3 stats)
 
 	for _, t := range s.Tasks() {
+		if err := cp.Check(); err != nil {
+			return nil, cancelErr(err)
+		}
 		if !t.Active() {
 			continue
 		}
@@ -203,6 +236,12 @@ func AnalyzeWithPolicy(s *schedule.Schedule, pol Policy) (*Analysis, error) {
 	seen := map[string]bool{}
 	for cell, ulist := range uses {
 		for _, u := range ulist {
+			// The (cell, use) x events product is the quadratic heart of
+			// the analysis; the checkpoint bounds a deadline to one
+			// stride of it.
+			if err := cp.Check(); err != nil {
+				return nil, cancelErr(err)
+			}
 			lastWash := -1
 			for _, w := range washes[cell] {
 				if w <= u.start && w > lastWash {
@@ -277,6 +316,9 @@ func AnalyzeWithPolicy(s *schedule.Schedule, pol Policy) (*Analysis, error) {
 		}
 	}
 	for _, ev := range an.Events {
+		if err := cp.Check(); err != nil {
+			return nil, cancelErr(err)
+		}
 		if demanded[fmt.Sprintf("%v|%s", ev.Cell, ev.TaskID)] {
 			an.Skips[NoSkip]++
 			continue
@@ -349,7 +391,17 @@ func appendStr(s []string, v string) []string {
 // requirement of the schedule, or nil if execution is contamination-free.
 // It is the correctness oracle for wash optimizers.
 func Verify(s *schedule.Schedule) error {
-	an, err := Analyze(s)
+	return verify(Analyze(s))
+}
+
+// VerifyContext is Verify under a context with the AnalyzeContext
+// cancellation contract: a done context aborts the verification with
+// ErrBudgetExceeded instead of certifying or refuting the schedule.
+func VerifyContext(ctx context.Context, s *schedule.Schedule) error {
+	return verify(AnalyzeContext(ctx, s))
+}
+
+func verify(an *Analysis, err error) error {
 	if err != nil {
 		return err
 	}

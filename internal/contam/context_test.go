@@ -1,0 +1,62 @@
+package contam
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pathdriverwash/internal/solve"
+)
+
+// TestAnalyzeContextLiveMatchesAnalyze pins that the checkpointed
+// variant is a pure wrapper: on a live context it returns exactly the
+// analysis Analyze returns.
+func TestAnalyzeContextLiveMatchesAnalyze(t *testing.T) {
+	s := twoTransportSchedule(t, "fa", "fb", 3)
+	want, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeContext(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requirements) != len(want.Requirements) || len(got.Events) != len(want.Events) {
+		t.Fatalf("AnalyzeContext diverged: %d/%d requirements, %d/%d events",
+			len(got.Requirements), len(want.Requirements), len(got.Events), len(want.Events))
+	}
+}
+
+// TestAnalyzeContextCanceledAborts pins the abort contract: a done
+// context yields ErrBudgetExceeded and no partial analysis.
+func TestAnalyzeContextCanceledAborts(t *testing.T) {
+	s := twoTransportSchedule(t, "fa", "fb", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	an, err := AnalyzeContext(ctx, s)
+	if !errors.Is(err, solve.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if an != nil {
+		t.Fatal("canceled analysis returned a partial result")
+	}
+}
+
+func TestVerifyContextCanceledAborts(t *testing.T) {
+	s := twoTransportSchedule(t, "fa", "fb", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := VerifyContext(ctx, s)
+	if !errors.Is(err, solve.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// The live form still refutes the contaminated schedule.
+	if err := VerifyContext(context.Background(), s); err == nil {
+		t.Fatal("VerifyContext(live) must fail on a contaminated schedule")
+	} else if errors.Is(err, solve.ErrBudgetExceeded) {
+		t.Fatalf("live verification misreported a budget error: %v", err)
+	}
+}

@@ -55,23 +55,24 @@ func FuzzGenerate(f *testing.F) {
 		if f1 != f2 {
 			t.Fatalf("same params, different fingerprints: %s vs %s", f1, f2)
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := Validate(ctx, b, LevelStructural); err != nil {
 			t.Fatalf("generated instance fails structural validation: %v", err)
 		}
-		// Small instances go through the full washability proof — the
-		// solve stage of the pipeline. Unwashable draws are legitimate;
-		// the assertion is that the solvers never panic. The workload
-		// gate matters: reagent-heavy draws solve in tens of seconds
-		// (far past the fuzzer's hang detector), so the solve stage
-		// only runs when both the op count and the injection load are
-		// small. The seed corpus keeps one reagent-heavy tuple
-		// (seed-slow-pipeline) to pin generation robustness there.
-		if ops <= 12 && reagentRate <= 1 {
-			wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
-			_ = Validate(wctx, b, LevelWashable)
-			wcancel()
-		}
+		// Every accepted instance goes through the full washability
+		// proof — the solve stage of the pipeline — under a short
+		// deadline. Unwashable and over-budget draws are legitimate
+		// (the error is discarded); the assertion is that the solvers
+		// never panic and, thanks to the checkpointed hot loops, return
+		// promptly when the deadline expires. This used to be gated on
+		// ops <= 12 && reagentRate <= 1 because reagent-heavy draws
+		// overran the deadline by tens of seconds and tripped the
+		// fuzzer's hang detector; the seed corpus keeps one
+		// reagent-heavy tuple (seed-slow-pipeline) to pin exactly that
+		// bounded-overrun behavior.
+		wctx, wcancel := context.WithTimeout(ctx, 2*time.Second)
+		_ = Validate(wctx, b, LevelWashable)
+		wcancel()
 	})
 }

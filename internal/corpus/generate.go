@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"pathdriverwash/internal/assay"
 	"pathdriverwash/internal/benchmarks"
 	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/synth"
 )
 
@@ -22,6 +24,15 @@ var genKinds = []assay.OpKind{
 // synthesizable or washable — Validate runs those stages, and
 // GenerateValidated combines both.
 func Generate(p Params) (*benchmarks.Benchmark, error) {
+	return GenerateContext(context.Background(), p)
+}
+
+// GenerateContext is Generate under a context: the operation, edge, and
+// reagent loops are checkpointed (Layered edge wiring is quadratic in
+// Ops), aborting with solve.ErrBudgetExceeded once ctx is done.
+// Cancellation never changes what is generated — instances remain pure
+// functions of Params — it only decides whether generation finishes.
+func GenerateContext(ctx context.Context, p Params) (*benchmarks.Benchmark, error) {
 	p = p.withDefaults()
 	if p.Ops < 1 {
 		return nil, fmt.Errorf("corpus: %s: ops %d < 1", p.Name, p.Ops)
@@ -29,6 +40,7 @@ func Generate(p Params) (*benchmarks.Benchmark, error) {
 	if p.Ops > 100_000 {
 		return nil, fmt.Errorf("corpus: %s: ops %d is absurd (max 100000)", p.Name, p.Ops)
 	}
+	cp := solve.NewCheckpoint(ctx)
 	r := newRNG(p.Seed)
 	a := assay.New(p.Name)
 
@@ -47,6 +59,9 @@ func Generate(p Params) (*benchmarks.Benchmark, error) {
 		return pool[r.intn(len(pool))]
 	}
 	for i := 0; i < p.Ops; i++ {
+		if err := cp.Check(); err != nil {
+			return nil, genCanceled(p, err)
+		}
 		if err := a.AddOp(&assay.Operation{
 			ID:       fmt.Sprintf("o%d", i+1),
 			Kind:     genKinds[r.intn(len(genKinds))],
@@ -56,7 +71,10 @@ func Generate(p Params) (*benchmarks.Benchmark, error) {
 			return nil, fmt.Errorf("corpus: %s: %w", p.Name, err)
 		}
 	}
-	if err := addEdges(a, p, r); err != nil {
+	if err := addEdges(a, p, r, &cp); err != nil {
+		if cp.Canceled() {
+			return nil, genCanceled(p, err)
+		}
 		return nil, fmt.Errorf("corpus: %s: %w", p.Name, err)
 	}
 
@@ -83,6 +101,9 @@ func Generate(p Params) (*benchmarks.Benchmark, error) {
 	extra := int(math.Round(p.ReagentRate * float64(p.Ops)))
 	ops := a.Ops()
 	for i := 0; i < extra; i++ {
+		if err := cp.Check(); err != nil {
+			return nil, genCanceled(p, err)
+		}
 		op := ops[r.intn(len(ops))]
 		op.Reagents = append(op.Reagents, nextFluid())
 	}
@@ -96,6 +117,11 @@ func Generate(p Params) (*benchmarks.Benchmark, error) {
 		Assay:  a,
 		Config: synth.Config{Devices: specs, FlowPorts: portCount(specs), WastePorts: portCount(specs)},
 	}, nil
+}
+
+// genCanceled wraps a checkpoint error at the generation boundary.
+func genCanceled(p Params, err error) error {
+	return fmt.Errorf("corpus: %s: generation canceled: %w: %w", p.Name, solve.ErrBudgetExceeded, err)
 }
 
 // portCount sizes the boundary port count like synth's default
@@ -119,13 +145,19 @@ func portCount(specs []synth.DeviceSpec) int {
 	return n
 }
 
-// addEdges wires the dependency DAG for the requested shape.
-func addEdges(a *assay.Assay, p Params, r *rng) error {
+// addEdges wires the dependency DAG for the requested shape. The loops
+// are checkpointed via cp (Layered's predecessor scan is quadratic in
+// the op count); on cancellation the returned error is the bare
+// checkpoint error, wrapped by the caller.
+func addEdges(a *assay.Assay, p Params, r *rng, cp *solve.Checkpoint) error {
 	id := func(i int) string { return fmt.Sprintf("o%d", i+1) }
 	n := p.Ops
 	switch p.Shape {
 	case Pipeline:
 		for i := 1; i < n; i++ {
+			if err := cp.Check(); err != nil {
+				return err
+			}
 			if err := a.AddEdge(id(i-1), id(i)); err != nil {
 				return err
 			}
@@ -137,6 +169,9 @@ func addEdges(a *assay.Assay, p Params, r *rng) error {
 			chains = n
 		}
 		for i := chains; i < n; i++ {
+			if err := cp.Check(); err != nil {
+				return err
+			}
 			if err := a.AddEdge(id(i-chains), id(i)); err != nil {
 				return err
 			}
@@ -144,6 +179,9 @@ func addEdges(a *assay.Assay, p Params, r *rng) error {
 	case Diamond:
 		last, i := 0, 1
 		for i < n {
+			if err := cp.Check(); err != nil {
+				return err
+			}
 			if remaining := n - i; remaining >= p.Branch+1 && p.Branch >= 2 {
 				join := i + p.Branch
 				for k := 0; k < p.Branch; k++ {
@@ -176,6 +214,9 @@ func addEdges(a *assay.Assay, p Params, r *rng) error {
 		// preferring ops without successors to keep the sink count low.
 		hasSucc := make([]bool, n)
 		for i := 0; i < n; i++ {
+			if err := cp.Check(); err != nil {
+				return err
+			}
 			if layerOf[i] == 0 {
 				continue
 			}
@@ -200,6 +241,9 @@ func addEdges(a *assay.Assay, p Params, r *rng) error {
 		}
 		// Extra cross edges thicken the DAG (~one per three ops).
 		for attempt := 0; attempt < n/3; attempt++ {
+			if err := cp.Check(); err != nil {
+				return err
+			}
 			from, to := r.intn(n), r.intn(n)
 			if layerOf[from] >= layerOf[to] {
 				continue

@@ -1,0 +1,8 @@
+//go:build !race
+
+package corpus
+
+// raceFactor scales the overrun bounds of TestDeadlineOverrunBounded.
+// Without the race detector the observed tails sit well inside the
+// unscaled bounds.
+const raceFactor = 1

@@ -1,0 +1,11 @@
+//go:build race
+
+package corpus
+
+// raceFactor scales the overrun bounds of TestDeadlineOverrunBounded.
+// The race detector slows the solvers' straight-line work by roughly
+// an order of magnitude, which stretches both the checkpoint stride
+// interval and the post-cancellation completion tail by the same
+// amount; `make overrun` runs this test under -race, so the bounds
+// scale rather than flake.
+const raceFactor = 10

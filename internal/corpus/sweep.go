@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"pathdriverwash/internal/benchmarks"
+	"pathdriverwash/internal/solve"
 )
 
 // SweepConfig describes a seeded parameter sweep. The planner is a
@@ -115,12 +117,36 @@ const maxSlotAttempts = 32
 // slot's next deterministic seed: the generator's contract is that
 // everything it emits counts, and a sweep is a function of its config
 // alone — same config, same corpus, byte for byte.
+//
+// When ctx carries a deadline, each slot runs under a sub-deadline of
+// remaining/(slots remaining), so one pathological slot cannot starve
+// every slot after it of the sweep budget. A slot that exhausts its
+// sub-deadline fails the sweep with an error naming the slot — it is
+// never resampled or skipped, because either would make the emitted
+// corpus depend on machine speed instead of the config alone.
 func GenerateSweep(ctx context.Context, cfg SweepConfig) ([]*benchmarks.Benchmark, error) {
 	cfg = cfg.withDefaults()
 	out := make([]*benchmarks.Benchmark, 0, cfg.N)
+	deadline, hasDeadline := ctx.Deadline()
 	for i := 0; i < cfg.N; i++ {
-		b, err := generateSlot(ctx, cfg, i)
+		slotCtx, stop := ctx, context.CancelFunc(func() {})
+		var sub time.Duration
+		if hasDeadline {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return nil, fmt.Errorf("corpus: sweep budget exhausted at slot %d: %w: %w",
+					i, solve.ErrBudgetExceeded, context.DeadlineExceeded)
+			}
+			sub = remain / time.Duration(cfg.N-i)
+			slotCtx, stop = context.WithTimeout(ctx, sub)
+		}
+		b, err := generateSlot(slotCtx, cfg, i)
+		stop()
 		if err != nil {
+			if hasDeadline && ctx.Err() == nil && slotCtx.Err() != nil {
+				return nil, fmt.Errorf("corpus: sweep slot %d exceeded its %v sub-deadline: %w: %w",
+					i, sub.Round(time.Millisecond), solve.ErrBudgetExceeded, err)
+			}
 			return nil, err
 		}
 		out = append(out, b)

@@ -76,7 +76,7 @@ func Validate(ctx context.Context, b *benchmarks.Benchmark, level Level) error {
 	if err != nil {
 		return fmt.Errorf("corpus: %s: not washable: %w", b.Name, err)
 	}
-	if err := contam.Verify(res.Schedule); err != nil {
+	if err := contam.VerifyContext(ctx, res.Schedule); err != nil {
 		return fmt.Errorf("corpus: %s: washed schedule still contaminated: %w", b.Name, err)
 	}
 	rep := sim.Run(res.Schedule)
@@ -89,7 +89,7 @@ func Validate(ctx context.Context, b *benchmarks.Benchmark, level Level) error {
 	if err != nil {
 		return fmt.Errorf("corpus: %s: not washable under dawo: %w", b.Name, err)
 	}
-	if err := contam.Verify(dres.Schedule); err != nil {
+	if err := contam.VerifyContext(ctx, dres.Schedule); err != nil {
 		return fmt.Errorf("corpus: %s: dawo schedule still contaminated: %w", b.Name, err)
 	}
 	return nil
@@ -99,7 +99,7 @@ func Validate(ctx context.Context, b *benchmarks.Benchmark, level Level) error {
 // returning — the only constructor sweeps use, so no unvalidated
 // instance ever enters a corpus.
 func GenerateValidated(ctx context.Context, p Params, level Level) (*benchmarks.Benchmark, error) {
-	b, err := Generate(p)
+	b, err := GenerateContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}

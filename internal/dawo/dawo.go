@@ -18,6 +18,7 @@ package dawo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -90,9 +91,11 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	deadline := time.Now().Add(tl)
 	ctx, stop := opts.Budget.Context(ctx)
 	defer stop()
+	defer func() { solve.ObserveOverrun(ctx) }()
 	ctx, span := obs.Start(ctx, "dawo.optimize", obs.A("tasks", len(base.Tasks())))
 	defer span.End()
 	stats := &solve.Stats{}
+	cp := solve.NewCheckpoint(ctx)
 	ctx, endFix := stats.StartPhaseContext(ctx, "wash-insertion")
 
 	cur := base
@@ -102,7 +105,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dawo: %w after %d rounds", solve.ErrBudgetExceeded, round-1)
 		}
-		an, err := contam.AnalyzeWithPolicy(cur, policy)
+		an, err := analyzeRound(ctx, &cp, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +118,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 			}
 			endFix()
 			stats.SetSkips(skipNames(firstSkips))
-			if ctx.Err() != nil {
+			if cp.Err() != nil {
 				stats.MarkCanceled()
 			}
 			if span != nil {
@@ -153,6 +156,23 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		}
 	}
 	return nil, fmt.Errorf("dawo: no fixpoint in %d rounds: %w", maxRounds, solve.ErrBudgetExceeded)
+}
+
+// analyzeRound runs the conservative necessity analysis for one
+// fixpoint round: checkpointed while the budget is live (so a deadline
+// aborts mid-analysis within one stride), completion mode once
+// cancellation has been observed — the fixpoint needs a complete
+// analysis to converge to a clean schedule, and the remaining rounds
+// are pure BFS work.
+func analyzeRound(ctx context.Context, cp *solve.Checkpoint, s *schedule.Schedule) (*contam.Analysis, error) {
+	if !cp.Canceled() {
+		an, err := contam.AnalyzeWithPolicyContext(ctx, s, policy)
+		if err == nil || !errors.Is(err, solve.ErrBudgetExceeded) {
+			return an, err
+		}
+		cp.Err() // latch the cancellation the aborted analysis observed
+	}
+	return contam.AnalyzeWithPolicy(s, policy)
 }
 
 // skipNames converts the typed skip counters to the string keys the

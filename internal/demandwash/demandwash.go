@@ -14,6 +14,8 @@
 package demandwash
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"pathdriverwash/internal/dawo"
 	"pathdriverwash/internal/replan"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 	"pathdriverwash/internal/washpath"
 )
 
@@ -28,7 +31,16 @@ import (
 type Options struct {
 	// MaxRounds caps wash-insertion fixpoint rounds (default 60).
 	MaxRounds int
-	// TimeLimit caps total optimization time (default 60 s).
+	// Budget bounds the run; only Budget.Total applies (the heuristic
+	// solves no inner ILPs). Expiry degrades gracefully: the remaining
+	// fixpoint rounds complete and the clean schedule is returned with
+	// Stats.Canceled set.
+	Budget solve.Budget
+	// TimeLimit caps total optimization time (default 60 s) and errors
+	// on expiry.
+	//
+	// Deprecated: prefer Budget.Total (or a context deadline), which
+	// returns the finished schedule instead of an error.
 	TimeLimit time.Duration
 }
 
@@ -37,12 +49,26 @@ type Result struct {
 	Schedule *schedule.Schedule
 	Washes   []replan.WashSpec
 	Rounds   int
+	// Stats carries the Canceled flag when the budget expired mid-run.
+	Stats *solve.Stats
 }
 
 var policy = contam.Policy{IgnoreFluidTypes: true}
 
-// Optimize inserts maximally postponed washes into the base schedule.
+// Optimize inserts maximally postponed washes into the base schedule;
+// see OptimizeContext.
 func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), base, opts)
+}
+
+// OptimizeContext is Optimize under a context. Like DAWO, the fixpoint
+// must reach a contamination-free schedule to return anything usable,
+// so a canceled ctx or an expired Budget.Total does not abort: the
+// remaining rounds complete (pure BFS work) and the clean schedule is
+// returned with Stats.Canceled set. Only the deprecated
+// Options.TimeLimit errors on expiry, preserving the historical
+// contract.
+func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options) (*Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 60
@@ -52,14 +78,18 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 		tl = 60 * time.Second
 	}
 	deadline := time.Now().Add(tl)
+	ctx, stop := opts.Budget.Context(ctx)
+	defer stop()
+	defer func() { solve.ObserveOverrun(ctx) }()
+	cp := solve.NewCheckpoint(ctx)
 
 	cur := base
 	var washes []replan.WashSpec
 	for round := 1; round <= maxRounds; round++ {
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("demandwash: time limit after %d rounds", round-1)
+			return nil, fmt.Errorf("demandwash: %w after %d rounds", solve.ErrBudgetExceeded, round-1)
 		}
-		an, err := contam.AnalyzeWithPolicy(cur, policy)
+		an, err := analyzeRound(ctx, &cp, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -67,11 +97,15 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			if err := cur.Validate(); err != nil {
 				return nil, fmt.Errorf("demandwash: final schedule invalid: %w", err)
 			}
-			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1}, nil
+			stats := &solve.Stats{}
+			if cp.Err() != nil {
+				stats.MarkCanceled()
+			}
+			return &Result{Schedule: cur, Washes: washes, Rounds: round - 1, Stats: stats}, nil
 		}
 		groups := contam.GroupRequirements(an.Requirements)
 		for _, g := range groups {
-			plans, coveredSets, err := washpath.BuildCover(cur.Chip, g.Targets, washpath.Options{})
+			plans, coveredSets, err := washpath.BuildCoverContext(ctx, cur.Chip, g.Targets, washpath.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("demandwash: wash path for %v: %w", g.Targets, err)
 			}
@@ -96,7 +130,22 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("demandwash: no fixpoint in %d rounds", maxRounds)
+	return nil, fmt.Errorf("demandwash: no fixpoint in %d rounds: %w", maxRounds, solve.ErrBudgetExceeded)
+}
+
+// analyzeRound mirrors dawo's round analysis: checkpointed while the
+// budget is live, completion mode (plain AnalyzeWithPolicy) once
+// cancellation has been observed, because the fixpoint needs a complete
+// analysis to converge.
+func analyzeRound(ctx context.Context, cp *solve.Checkpoint, s *schedule.Schedule) (*contam.Analysis, error) {
+	if !cp.Canceled() {
+		an, err := contam.AnalyzeWithPolicyContext(ctx, s, policy)
+		if err == nil || !errors.Is(err, solve.ErrBudgetExceeded) {
+			return an, err
+		}
+		cp.Err() // latch the cancellation the aborted analysis observed
+	}
+	return contam.AnalyzeWithPolicy(s, policy)
 }
 
 // postponedCulprits extends the group's culprits with every other

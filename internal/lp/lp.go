@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/solve"
 )
 
 // Pivot-loop telemetry. The handles are resolved once at package load;
@@ -209,7 +210,7 @@ func SolveContext(ctx context.Context, p *Problem) (Result, error) {
 		}
 		return Result{Status: Optimal, X: x, Obj: obj}, nil
 	}
-	t.ctx = ctx
+	t.check = solve.NewCheckpoint(ctx)
 	var t0 time.Time
 	if obs.Enabled() {
 		t0 = time.Now()
@@ -282,14 +283,16 @@ type tableau struct {
 	colOf   []int     // problem var -> structural column (-1 if eliminated)
 	rowName []string
 	iters   int
-	flushed int             // pivots already flushed to the obs counter
-	ctx     context.Context // optional cancellation, checked every ctxCheckEvery pivots
+	flushed int              // pivots already flushed to the obs counter
+	check   solve.Checkpoint // optional cancellation, polled every ctxCheckEvery pivots
 }
 
 // ctxCheckEvery is the pivot interval between cancellation checks: small
 // enough that cancellation lands within a handful of dense-row pivots,
-// large enough that the select never shows up in profiles.
-const ctxCheckEvery = 64
+// large enough that the poll never shows up in profiles. It equals the
+// shared solve.Checkpoint stride — this loop is where that cadence was
+// first calibrated.
+const ctxCheckEvery = solve.CheckpointStride
 
 // buildTableau converts the problem to equational standard form.
 // Variables with Lower==Upper are eliminated (substituted). All other
@@ -447,6 +450,12 @@ func (t *tableau) solveTwoPhase() (Result, error) {
 		t.nArt = needArt
 		art := t.n
 		for ri := range t.a {
+			// Widening every row reallocates and copies the whole
+			// tableau — on big models that is whole seconds of memmove,
+			// so it polls the deadline like the pivot kernel does.
+			if err := t.check.Check(); err != nil {
+				return Result{}, err
+			}
 			rowv := t.a[ri]
 			rhs := rowv[t.n]
 			rowv = append(rowv[:t.n:t.n], make([]float64, needArt+1)...)
@@ -483,7 +492,9 @@ func (t *tableau) solveTwoPhase() (Result, error) {
 			return Result{Status: Infeasible, Iterations: t.iters}, nil
 		}
 		// Drive remaining artificials out of the basis where possible.
-		t.expelArtificials()
+		if err := t.expelArtificials(); err != nil {
+			return Result{}, err
+		}
 	}
 
 	// Phase 2 over the structural+slack columns only.
@@ -521,14 +532,16 @@ func (t *tableau) solveTwoPhase() (Result, error) {
 // artificial cannot be expelled: phase 1 drove their RHS to zero, so they
 // are redundant and would otherwise let the artificial drift during
 // phase 2.
-func (t *tableau) expelArtificials() {
+func (t *tableau) expelArtificials() error {
 	for ri, b := range t.basis {
 		if b < t.n {
 			continue
 		}
 		for j := 0; j < t.n; j++ {
 			if math.Abs(t.a[ri][j]) > eps {
-				t.pivot(ri, j)
+				if err := t.pivot(ri, j); err != nil {
+					return err
+				}
 				break
 			}
 		}
@@ -546,6 +559,7 @@ func (t *tableau) expelArtificials() {
 	}
 	t.a, t.basis, t.rowName = keptA, keptB, keptN
 	t.m = len(t.a)
+	return nil
 }
 
 // optimize runs simplex minimizing cost over columns [0,ncols); columns
@@ -560,23 +574,23 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 			return 0, ErrIterationLimit
 		}
 		if t.iters%ctxCheckEvery == 0 {
-			// Batched telemetry flush at the cancellation-check cadence:
-			// disabled cost is one atomic load per ctxCheckEvery pivots.
+			// Batched telemetry flush at the historical cancellation-check
+			// cadence: disabled cost is one atomic load per ctxCheckEvery
+			// pivots.
 			if obs.Enabled() && t.iters > t.flushed {
 				lpPivotsTotal.Add(int64(t.iters - t.flushed))
 				t.flushed = t.iters
 			}
-			if t.ctx != nil {
-				select {
-				case <-t.ctx.Done():
-					return 0, t.ctx.Err()
-				default:
-				}
+			if err := t.check.Err(); err != nil {
+				return 0, err
 			}
 		}
 		// Reduced costs: r_j = c_j - c_B . B^-1 A_j. In tableau form the
 		// price row is sum over rows of c_basis * a[row][:], accumulated
-		// in one pass over the rows with non-zero basic cost.
+		// in one pass over the rows with non-zero basic cost. The pass is
+		// O(m*ncols) — on wide models a single pivot iteration costs
+		// hundreds of milliseconds, so cancellation is polled per priced
+		// row (amortized by the checkpoint stride), not per iteration.
 		for j := range price {
 			price[j] = 0
 			basic[j] = false
@@ -591,6 +605,9 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 			}
 			if cb == 0 {
 				continue
+			}
+			if err := t.check.Check(); err != nil {
+				return 0, err
 			}
 			row := t.a[ri]
 			for j := 0; j < ncols; j++ {
@@ -634,12 +651,19 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 		if leave < 0 {
 			return Unbounded, nil
 		}
-		t.pivot(leave, enter)
+		if err := t.pivot(leave, enter); err != nil {
+			return 0, err
+		}
 	}
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
-func (t *tableau) pivot(row, col int) {
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the
+// basis. Cancellation is polled per eliminated row (amortized by the
+// checkpoint stride): the elimination is O(m*rowlen), the widest
+// uninterruptible span the solver would otherwise have. An abort
+// leaves the tableau mid-update — every caller discards it and
+// returns the error.
+func (t *tableau) pivot(row, col int) error {
 	t.iters++
 	pr := t.a[row]
 	pv := pr[col]
@@ -656,6 +680,9 @@ func (t *tableau) pivot(row, col int) {
 		if f == 0 {
 			continue
 		}
+		if err := t.check.Check(); err != nil {
+			return err
+		}
 		rowv := t.a[ri]
 		for j := range rowv {
 			rowv[j] -= f * pr[j]
@@ -663,6 +690,7 @@ func (t *tableau) pivot(row, col int) {
 		rowv[col] = 0 // exact
 	}
 	t.basis[row] = col
+	return nil
 }
 
 // IsInfeasibleConst reports whether err marks a constant-row

@@ -27,6 +27,7 @@ package pdw
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -132,20 +133,30 @@ func Optimize(base *schedule.Schedule, opts Options) (*Result, error) {
 
 // OptimizeContext runs PDW under ctx. Cancellation (or expiry of the
 // ctx deadline / Options.Budget.Total) never aborts with an error once
-// the pipeline is running: the remaining wash paths degrade to the BFS
-// heuristic, the time-window MILP returns its greedy warm-start
-// incumbent, and the result is the best feasible (clean, valid)
-// schedule reached — with Stats.Canceled set so callers can tell.
+// the pipeline is running: the wash-insertion fixpoint still runs to a
+// contamination-free fixpoint (a partially washed schedule is not a
+// feasible incumbent), but every loop inside it polls an amortized
+// solve.Checkpoint, and once cancellation is observed the remaining
+// rounds run in completion mode — wash paths degrade to the BFS
+// heuristic, group merging and ψ-integration are skipped, and the
+// time-window MILP is bypassed in favor of its greedy warm-start. The
+// result is the best feasible (clean, valid) schedule reached — with
+// Stats.Canceled set so callers can tell — and the distance between
+// deadline expiry and return is recorded in the
+// pdw_deadline_overrun_seconds histogram (the cancellation granularity
+// contract in DESIGN.md).
 func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	ctx, stop := opts.Budget.Context(ctx)
 	defer stop()
+	defer func() { solve.ObserveOverrun(ctx) }()
 	ctx, span := obs.Start(ctx, "pdw.optimize",
 		obs.A("tasks", len(base.Tasks())),
 		obs.A("exact_paths", !opts.HeuristicPaths),
 		obs.A("exact_windows", !opts.HeuristicWindows))
 	defer span.End()
 	stats := &solve.Stats{}
+	cp := solve.NewCheckpoint(ctx)
 	pol := contam.Policy{}
 	if opts.DisableNecessity {
 		pol = contam.Policy{IgnoreFluidTypes: true}
@@ -158,7 +169,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	rounds := 0
 	var firstSkips map[contam.SkipReason]int
 	for ; rounds < opts.MaxRounds; rounds++ {
-		an, err := contam.AnalyzeWithPolicy(cur, pol)
+		an, err := analyze(insCtx, &cp, cur, pol)
 		if err != nil {
 			return nil, err
 		}
@@ -169,11 +180,13 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 			break
 		}
 		groups := contam.GroupRequirements(an.Requirements)
-		if !opts.DisableMerge {
+		// Merging is a quality optimization, not a soundness requirement:
+		// once the budget expired the O(n³) merge fixpoint is skipped.
+		if !opts.DisableMerge && !cp.Canceled() {
 			groups = contam.MergeGroups(groups, opts.MergeRadius)
 		}
 		for _, g := range groups {
-			specs, err := buildWashSpecs(insCtx, cur, g, &washes, integrated, opts, stats)
+			specs, err := buildWashSpecs(insCtx, &cp, cur, g, &washes, integrated, opts, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -210,7 +223,10 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		return nil, err
 	}
 	final := greedy
-	if !opts.HeuristicWindows && len(washes) > 0 {
+	// A done context skips the window MILP outright: its result would be
+	// the greedy warm-start (which final already is), and even building
+	// the model costs a pass over every edge pair.
+	if !opts.HeuristicWindows && len(washes) > 0 && cp.Err() == nil {
 		wctx, endWindows := stats.StartPhaseContext(ctx, "window-milp")
 		optimized, optimal, err := optimizeWindows(wctx, plan, greedy, opts.WindowTimeLimit, stats)
 		endWindows()
@@ -229,7 +245,7 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		return nil, fmt.Errorf("pdw: final schedule not clean: %w", err)
 	}
 	endVerify()
-	if ctx.Err() != nil {
+	if cp.Err() != nil {
 		stats.MarkCanceled()
 	}
 	res.Schedule = final
@@ -247,6 +263,24 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		obs.Default().Counter("pdw_washes_built_total").Add(int64(len(washes)))
 	}
 	return res, nil
+}
+
+// analyze runs the wash-necessity analysis for one fixpoint round.
+// While the budget is live the checkpointed form is used, so a
+// deadline expiring mid-analysis aborts it within one checkpoint
+// stride; the abort latches the checkpoint and the analysis reruns —
+// and every later round runs — in completion mode, because the
+// fixpoint needs a complete analysis to stay sound and the degraded
+// rounds are cheap (heuristic paths, no merge, no integration).
+func analyze(ctx context.Context, cp *solve.Checkpoint, s *schedule.Schedule, pol contam.Policy) (*contam.Analysis, error) {
+	if !cp.Canceled() {
+		an, err := contam.AnalyzeWithPolicyContext(ctx, s, pol)
+		if err == nil || !errors.Is(err, solve.ErrBudgetExceeded) {
+			return an, err
+		}
+		cp.Err() // latch the cancellation the aborted analysis observed
+	}
+	return contam.AnalyzeWithPolicy(s, pol)
 }
 
 // skipNames converts the typed skip counters to the string keys the
@@ -269,10 +303,17 @@ func skipNames(skips map[contam.SkipReason]int) map[string]int {
 // extending the path to cover them keeps a single path and adds at most
 // a couple of cells. Anything costlier would *increase* N_wash/L_wash —
 // the opposite of what Sec. II-B's integration is for.
-func buildWashSpecs(ctx context.Context, cur *schedule.Schedule, g contam.Group,
+//
+// Once the checkpoint observes cancellation, remaining paths drop to
+// the BFS heuristic and the integration scan stops: both are quality
+// optimizations, and skipping them keeps the post-deadline tail to the
+// washes the fixpoint still has to insert for soundness.
+func buildWashSpecs(ctx context.Context, cp *solve.Checkpoint, cur *schedule.Schedule, g contam.Group,
 	existing *[]replan.WashSpec, integrated map[string]bool, opts Options, stats *solve.Stats) ([]replan.WashSpec, error) {
 
-	wopts := washpath.Options{Exact: !opts.HeuristicPaths, TimeLimit: opts.PathTimeLimit, Trace: stats}
+	cp.Err()
+	wopts := washpath.Options{Exact: !opts.HeuristicPaths && !cp.Canceled(),
+		TimeLimit: opts.PathTimeLimit, Trace: stats}
 	plans, covered, err := washpath.BuildCoverContext(ctx, cur.Chip, g.Targets, wopts)
 	if err != nil {
 		return nil, fmt.Errorf("pdw: wash path for %v: %w", g.Targets, err)
@@ -292,8 +333,14 @@ func buildWashSpecs(ctx context.Context, cur *schedule.Schedule, g contam.Group,
 		})
 	}
 
-	if !opts.DisableIntegration {
+	if !opts.DisableIntegration && !cp.Canceled() {
 		for _, rm := range cur.TasksOf(schedule.Removal) {
+			// The removals × states product with a path build per
+			// candidate is the wash-insertion inner hot loop; a deadline
+			// stops the scan here, keeping the specs built so far.
+			if cp.Check() != nil {
+				break
+			}
 			if rm.Integrated || integrated[rm.ID] || len(rm.ExcessCells) == 0 {
 				continue
 			}

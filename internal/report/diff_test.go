@@ -444,3 +444,78 @@ func TestSortDiffs(t *testing.T) {
 		}
 	}
 }
+
+// TestQualityThresholdCanceled pins the cancellation half of
+// qualityThreshold's contract, one row per Canceled combination: a
+// canceled search on EITHER side of the diff makes that method's
+// quality numbers best-effort incumbents, so the gate loosens to
+// WallThreshold instead of flagging exact-mode noise; with neither
+// side canceled the exact gate (0) applies. The method column matters
+// only for the PDW-specific WindowsOptimal rule, which both rows here
+// hold satisfied.
+func TestQualityThresholdCanceled(t *testing.T) {
+	opts := DiffOptions{}.withDefaults()
+	cases := []struct {
+		name                     string
+		oldCanceled, newCanceled bool
+		want                     float64
+	}{
+		{"neither-canceled", false, false, 0},
+		{"baseline-canceled", true, false, opts.WallThreshold},
+		{"candidate-canceled", false, true, opts.WallThreshold},
+		{"both-canceled", true, true, opts.WallThreshold},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := &MethodResult{NWash: 10, Canceled: tc.oldCanceled, WindowsOptimal: true}
+			new := &MethodResult{NWash: 10, Canceled: tc.newCanceled, WindowsOptimal: true}
+			for _, method := range []string{"dawo", "pdw"} {
+				if got := qualityThreshold(opts, method, old, new); got != tc.want {
+					t.Errorf("%s: qualityThreshold = %v, want %v", method, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffCanceledCandidateNoFalseVerdicts runs the candidate-canceled
+// case end to end: a run whose solver hit its budget reports a
+// slightly worse AND a slightly better incumbent on different metrics,
+// and neither may surface as a verdict — a false regression would
+// block an unrelated change, a false improvement would credit it.
+func TestDiffCanceledCandidateNoFalseVerdicts(t *testing.T) {
+	old := diffBenchFile()
+	new := clone(old)
+	nb := new.Benchmarks[0]
+	nb.PDW.Canceled = true
+	nb.PDW.NWash = 7          // unchanged
+	nb.PDW.LWashMM = 97       // 93 -> 97: +4.3%, inside the loosened gate
+	nb.PDW.TAssaySeconds = 72 // 75 -> 72: -4%, also inside
+	new.Benchmarks[0] = nb
+
+	r, err := Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := findDiff(t, r, "PCR", "pdw", "l_wash_mm"); d.Verdict != VerdictUnchanged {
+		t.Errorf("canceled candidate +4%% l_wash: verdict = %s, want unchanged", d.Verdict)
+	}
+	if d := findDiff(t, r, "PCR", "pdw", "t_assay_s"); d.Verdict != VerdictUnchanged {
+		t.Errorf("canceled candidate -4%% t_assay: verdict = %s, want unchanged (no false improvement)", d.Verdict)
+	}
+	if v := r.Gate(0.2); len(v) != 0 {
+		t.Errorf("gate = %+v, want none for canceled-candidate noise", v)
+	}
+
+	// The loosened gate is not a blank check: a genuinely large
+	// regression on a canceled candidate still regresses.
+	nb.PDW.LWashMM = 130 // +40%
+	new.Benchmarks[0] = nb
+	r, err = Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := findDiff(t, r, "PCR", "pdw", "l_wash_mm"); d.Verdict != VerdictRegressed {
+		t.Errorf("canceled candidate +40%% l_wash: verdict = %s, want regressed", d.Verdict)
+	}
+}

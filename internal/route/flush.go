@@ -5,6 +5,7 @@ import (
 
 	"pathdriverwash/internal/geom"
 	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/solve"
 )
 
 // FlushPath routes a complete flow path [flow port - targets - waste
@@ -16,6 +17,17 @@ import (
 // routing; PDW's ILP (internal/washpath) optimizes the same structure
 // globally.
 func FlushPath(c *grid.Chip, chain []geom.Point, o Options) (grid.Path, *grid.Port, *grid.Port, error) {
+	return FlushPathCheck(c, chain, o, nil)
+}
+
+// FlushPathCheck is FlushPath polling cp before each port-pair
+// candidate: the enumeration is |flow ports| x |waste ports| x 2
+// orientations, each a multi-leg BFS, so on port-rich chips one call
+// costs whole seconds — far too long a blind spot for a caller under a
+// deadline. A nil cp never cancels (FlushPath's behavior). On
+// cancellation the best candidate found so far is abandoned and the
+// latched context error returned.
+func FlushPathCheck(c *grid.Chip, chain []geom.Point, o Options, cp *solve.Checkpoint) (grid.Path, *grid.Port, *grid.Port, error) {
 	if len(chain) == 0 {
 		return grid.Path{}, nil, nil, fmt.Errorf("route: FlushPath with no targets")
 	}
@@ -31,6 +43,9 @@ func FlushPath(c *grid.Chip, chain []geom.Point, o Options) (grid.Path, *grid.Po
 	var bestFP, bestWP *grid.Port
 	for _, fp := range c.FlowPorts() {
 		for _, wp := range c.WastePorts() {
+			if err := cp.Err(); err != nil {
+				return grid.Path{}, nil, nil, err
+			}
 			for _, ch := range orientations {
 				wps := make([]geom.Point, 0, len(ch)+2)
 				wps = append(wps, fp.At)

@@ -1,0 +1,152 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// countingCtx counts Err() polls so the cadence tests can prove the
+// stride amortization instead of assuming it.
+type countingCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countingCtx) Err() error {
+	c.polls++
+	return c.Context.Err()
+}
+
+func TestCheckpointStrideCadence(t *testing.T) {
+	cc := &countingCtx{Context: context.Background()}
+	cp := NewCheckpointStride(cc, 64)
+	for i := 0; i < 640; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("Check on live context: %v", err)
+		}
+	}
+	if cc.polls != 10 {
+		t.Fatalf("640 checks at stride 64 polled ctx.Err %d times, want 10", cc.polls)
+	}
+}
+
+func TestCheckpointObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cp := NewCheckpointStride(ctx, 8)
+	for i := 0; i < 3; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("Check before cancel: %v", err)
+		}
+	}
+	cancel()
+	var got error
+	for i := 0; i < 16 && got == nil; i++ {
+		got = cp.Check()
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("Check after cancel = %v, want context.Canceled within one stride", got)
+	}
+	if !cp.Canceled() {
+		t.Fatal("Canceled() false after Check observed cancellation")
+	}
+}
+
+func TestCheckpointLatchesError(t *testing.T) {
+	cc := &countingCtx{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cc.Context = ctx
+	cancel()
+	cp := NewCheckpointStride(cc, 1)
+	if err := cp.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Check = %v, want context.Canceled", err)
+	}
+	polls := cc.polls
+	for i := 0; i < 100; i++ {
+		if err := cp.Check(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("latched Check = %v, want context.Canceled", err)
+		}
+	}
+	if cc.polls != polls {
+		t.Fatalf("latched checkpoint re-polled the context %d extra times", cc.polls-polls)
+	}
+}
+
+func TestCheckpointErrBypassesStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cp := NewCheckpoint(ctx)
+	if err := cp.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err on canceled context = %v, want context.Canceled", err)
+	}
+	if !cp.Canceled() {
+		t.Fatal("Canceled() false after Err observed cancellation")
+	}
+}
+
+func TestCheckpointNilSafety(t *testing.T) {
+	var nilCp *Checkpoint
+	if err := nilCp.Check(); err != nil {
+		t.Fatalf("nil receiver Check = %v", err)
+	}
+	if err := nilCp.Err(); err != nil {
+		t.Fatalf("nil receiver Err = %v", err)
+	}
+	if nilCp.Canceled() {
+		t.Fatal("nil receiver Canceled() = true")
+	}
+	noCtx := NewCheckpoint(nil)
+	for i := 0; i < 200; i++ {
+		if err := noCtx.Check(); err != nil {
+			t.Fatalf("nil-context Check = %v", err)
+		}
+	}
+}
+
+func TestCheckpointStrideFloor(t *testing.T) {
+	cc := &countingCtx{Context: context.Background()}
+	cp := NewCheckpointStride(cc, 0)
+	for i := 0; i < 5; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+	}
+	if cc.polls != 5 {
+		t.Fatalf("stride 0 should clamp to 1 (poll every Check); polled %d/5", cc.polls)
+	}
+}
+
+func TestCheckpointZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	cp := NewCheckpoint(ctx)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 256; i++ {
+			if err := cp.Check(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Check allocated %.1f times per 256 iterations, want 0", allocs)
+	}
+}
+
+func TestObserveOverrun(t *testing.T) {
+	if over := ObserveOverrun(context.Background()); over != 0 {
+		t.Fatalf("no-deadline context reported overrun %v", over)
+	}
+	future, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if over := ObserveOverrun(future); over != 0 {
+		t.Fatalf("unexpired deadline reported overrun %v", over)
+	}
+	past, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-50*time.Millisecond))
+	defer cancel2()
+	if over := ObserveOverrun(past); over < 50*time.Millisecond {
+		t.Fatalf("expired deadline reported overrun %v, want >= 50ms", over)
+	}
+	if over := ObserveOverrun(nil); over != 0 {
+		t.Fatalf("nil context reported overrun %v", over)
+	}
+}

@@ -63,7 +63,7 @@ func TestClassifySegments(t *testing.T) {
 	chip := res.Chip
 	src := res.Binding["o1"]
 	dst := res.Binding["o2"]
-	path, err := routeComplete(chip, src, dst)
+	path, err := routeComplete(chip, src, dst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestRouteCompleteInjectionShape(t *testing.T) {
 	}
 	chip := res.Chip
 	dst := res.Binding["o1"]
-	p, err := routeComplete(chip, nil, dst)
+	p, err := routeComplete(chip, nil, dst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

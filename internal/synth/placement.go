@@ -6,6 +6,7 @@ import (
 	"pathdriverwash/internal/assay"
 	"pathdriverwash/internal/geom"
 	"pathdriverwash/internal/grid"
+	"pathdriverwash/internal/solve"
 )
 
 // optimizePlacement reassigns devices to block slots to minimize the
@@ -20,12 +21,12 @@ import (
 // the assay edges whose producer/consumer are bound to the pair, plus a
 // boundary pull for devices with many reagent injections or disposals
 // (their fluids come from and go to the chip edge).
-func optimizePlacement(a *assay.Assay, specs []DeviceSpec, cfg Config) (*grid.Chip, map[string]*grid.Device, error) {
+func optimizePlacement(a *assay.Assay, specs []DeviceSpec, cfg Config, cp *solve.Checkpoint) (*grid.Chip, map[string]*grid.Device, error) {
 	chip, err := buildChip(a.Name, specs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	binding, err := bind(a, chip)
+	binding, err := bind(a, chip, cp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,6 +110,11 @@ func optimizePlacement(a *assay.Assay, specs []DeviceSpec, cfg Config) (*grid.Ch
 		improved := false
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
+				// Each swap evaluation is O(n²); the checkpoint bounds
+				// a deadline to one evaluation past expiry.
+				if err := cp.Check(); err != nil {
+					return nil, nil, budgetErr(err)
+				}
 				assignment[i], assignment[j] = assignment[j], assignment[i]
 				if c := cost(assignment); c < cur {
 					cur = c
@@ -149,7 +155,7 @@ func optimizePlacement(a *assay.Assay, specs []DeviceSpec, cfg Config) (*grid.Ch
 	if err := out.Validate(); err != nil {
 		return nil, nil, err
 	}
-	newBinding, err := bind(a, out)
+	newBinding, err := bind(a, out, cp)
 	if err != nil {
 		return nil, nil, err
 	}

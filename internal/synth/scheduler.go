@@ -9,6 +9,7 @@ import (
 	"pathdriverwash/internal/grid"
 	"pathdriverwash/internal/route"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 )
 
 // travelSeconds converts a path to a whole-second duration (>= 1 s).
@@ -23,8 +24,10 @@ func travelSeconds(chip *grid.Chip, p grid.Path) int {
 // buildSchedule produces the wash-free list schedule: for every
 // operation in topological order, its reagent injections, incoming
 // transports p_{j,i,1}, excess removals p_{j,i,2}, then the operation
-// itself; discarded sink products are disposed to waste.
-func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Device) (*schedule.Schedule, error) {
+// itself; discarded sink products are disposed to waste. The loop
+// polls cp between tasks (and routeComplete polls it again per route),
+// so a deadline aborts the construction within one task's work.
+func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Device, cp *solve.Checkpoint) (*schedule.Schedule, error) {
 	s := schedule.New(chip, a)
 	pl := schedule.NewPlacer(s)
 	order, err := a.TopoOrder()
@@ -40,7 +43,7 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 
 		// Reagent injections.
 		for ri, rg := range op.Reagents {
-			path, err := routeComplete(chip, nil, dev)
+			path, err := routeComplete(chip, nil, dev, cp)
 			if err != nil {
 				return nil, err
 			}
@@ -56,7 +59,7 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 				return nil, err
 			}
 			end, err := addRemoval(pl, chip, flushOpts,
-				fmt.Sprintf("rm-inj-%s-%d", opID, ri+1), "", opID, rg, seg.excess, inj.End)
+				fmt.Sprintf("rm-inj-%s-%d", opID, ri+1), "", opID, rg, seg.excess, inj.End, cp)
 			if err != nil {
 				return nil, err
 			}
@@ -71,7 +74,7 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 				return nil, fmt.Errorf("synth: predecessor %s of %s not yet scheduled", pred, opID)
 			}
 			src := binding[pred]
-			path, err := routeComplete(chip, src, dev)
+			path, err := routeComplete(chip, src, dev, cp)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +90,7 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 				return nil, err
 			}
 			end, err := addRemoval(pl, chip, flushOpts,
-				fmt.Sprintf("rm-%s-%s", pred, opID), pred, opID, tr.Fluid, seg.excess, tr.End)
+				fmt.Sprintf("rm-%s-%s", pred, opID), pred, opID, tr.Fluid, seg.excess, tr.End, cp)
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +120,7 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 		}
 		dev := binding[opID]
 		opTask := s.OpTask(opID)
-		path, err := routeComplete(chip, nil, dev)
+		path, err := routeComplete(chip, nil, dev, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -146,19 +149,29 @@ func buildSchedule(a *assay.Assay, chip *grid.Chip, binding map[string]*grid.Dev
 	return s, nil
 }
 
-// addRemoval routes and places the excess-fluid removal p_{j,i,2}.
+// addRemoval routes and places the excess-fluid removal p_{j,i,2}. The
+// flush-path enumeration is the scheduler's single most expensive
+// routing call, so it polls cp per port-pair candidate; a cancellation
+// there surfaces as a budget error like any other aborted route.
 func addRemoval(pl *schedule.Placer, chip *grid.Chip, opts route.Options,
-	id, from, to string, fluid assay.FluidType, excess []geom.Point, ready int) (int, error) {
+	id, from, to string, fluid assay.FluidType, excess []geom.Point, ready int,
+	cp *solve.Checkpoint) (int, error) {
 	if len(excess) == 0 {
 		return ready, nil
 	}
-	path, _, _, err := route.FlushPath(chip, excess, opts)
+	path, _, _, err := route.FlushPathCheck(chip, excess, opts, cp)
+	if err != nil && cp.Canceled() {
+		return 0, budgetErr(err)
+	}
 	if err != nil && len(excess) > 1 {
 		// Retry with the single cell nearest the device.
-		path, _, _, err = route.FlushPath(chip, excess[:1], opts)
+		path, _, _, err = route.FlushPathCheck(chip, excess[:1], opts, cp)
 		excess = excess[:1]
 	}
 	if err != nil {
+		if cp.Canceled() {
+			return 0, budgetErr(err)
+		}
 		return 0, fmt.Errorf("synth: removal %s: %w", id, err)
 	}
 	// The excess plug travels from the first excess cell the removal path

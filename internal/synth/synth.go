@@ -81,15 +81,17 @@ func Synthesize(a *assay.Assay, cfg Config) (*Result, error) {
 	return SynthesizeContext(context.Background(), a, cfg)
 }
 
-// SynthesizeContext is Synthesize under a context. Synthesis is a fast
-// deterministic construction with no meaningful partial result (a
-// half-scheduled assay is not feasible), so a context that is already
-// done at entry aborts with ErrBudgetExceeded, while a cancellation
-// arriving mid-run lets the construction finish: its complete output is
-// the best — and only — feasible incumbent.
+// SynthesizeContext is Synthesize under a context. Synthesis has no
+// meaningful partial result (a half-scheduled assay is not feasible),
+// so cancellation — at entry or mid-run — aborts with
+// ErrBudgetExceeded. The placement, binding, routing, and scheduling
+// loops poll the context through an amortized solve.Checkpoint, so a
+// deadline lands within one checkpoint stride of loop work instead of
+// at the next phase boundary (the cancellation granularity contract in
+// DESIGN.md).
 func SynthesizeContext(ctx context.Context, a *assay.Assay, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
+		return nil, budgetErr(err)
 	}
 	ctx, span := obs.Start(ctx, "synth.synthesize", obs.A("assay", a.Name))
 	defer span.End()
@@ -115,14 +117,15 @@ func SynthesizeContext(ctx context.Context, a *assay.Assay, cfg Config) (*Result
 		return SynthesizeOnChipContext(ctx, a, chip)
 	}
 	if cfg.OptimizePlacement {
+		cp := solve.NewCheckpoint(ctx)
 		t0 := time.Now()
-		chip, binding, err := optimizePlacement(a, specs, cfg)
+		chip, binding, err := optimizePlacement(a, specs, cfg, &cp)
 		if err != nil {
 			return nil, err
 		}
 		obs.RecordSpan(ctx, "synth.placement", t0, time.Since(t0), obs.A("mode", "optimized"))
 		t0 = time.Now()
-		sched, err := buildSchedule(a, chip, binding)
+		sched, err := buildSchedule(a, chip, binding, &cp)
 		if err != nil {
 			return nil, err
 		}
@@ -147,10 +150,10 @@ func SynthesizeOnChip(a *assay.Assay, chip *grid.Chip) (*Result, error) {
 }
 
 // SynthesizeOnChipContext is SynthesizeOnChip under a context, with the
-// same entry-only cancellation contract as SynthesizeContext.
+// same checkpointed mid-run cancellation contract as SynthesizeContext.
 func SynthesizeOnChipContext(ctx context.Context, a *assay.Assay, chip *grid.Chip) (*Result, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
+		return nil, budgetErr(err)
 	}
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: %w: %w", solve.ErrInvalidAssay, err)
@@ -158,20 +161,28 @@ func SynthesizeOnChipContext(ctx context.Context, a *assay.Assay, chip *grid.Chi
 	if err := chip.Validate(); err != nil {
 		return nil, err
 	}
+	cp := solve.NewCheckpoint(ctx)
 	t0 := time.Now()
-	binding, err := bind(a, chip)
+	binding, err := bind(a, chip, &cp)
 	if err != nil {
 		return nil, err
 	}
 	obs.RecordSpan(ctx, "synth.bind", t0, time.Since(t0), obs.A("ops", len(binding)))
 	t0 = time.Now()
-	sched, err := buildSchedule(a, chip, binding)
+	sched, err := buildSchedule(a, chip, binding, &cp)
 	if err != nil {
 		return nil, err
 	}
 	obs.RecordSpan(ctx, "synth.schedule", t0, time.Since(t0),
 		obs.A("tasks", len(sched.Tasks())))
 	return &Result{Chip: chip, Schedule: sched, Binding: binding}, nil
+}
+
+// budgetErr wraps a checkpoint cancellation in the synth error
+// contract: callers classify it with errors.Is(err, ErrBudgetExceeded)
+// and errors.Is(err, ctx.Err()).
+func budgetErr(err error) error {
+	return fmt.Errorf("synth: %w: %w", solve.ErrBudgetExceeded, err)
 }
 
 func checkLibrary(a *assay.Assay, specs []DeviceSpec) error {
@@ -315,7 +326,7 @@ func pick(cands []int, i, n int) int {
 
 // bind assigns each operation a device of the required kind,
 // load-balancing by operation count per device.
-func bind(a *assay.Assay, chip *grid.Chip) (map[string]*grid.Device, error) {
+func bind(a *assay.Assay, chip *grid.Chip, cp *solve.Checkpoint) (map[string]*grid.Device, error) {
 	byKind := map[grid.DeviceKind][]*grid.Device{}
 	for _, d := range chip.Devices() {
 		byKind[d.Kind] = append(byKind[d.Kind], d)
@@ -327,6 +338,9 @@ func bind(a *assay.Assay, chip *grid.Chip) (map[string]*grid.Device, error) {
 		return nil, err
 	}
 	for _, id := range order {
+		if err := cp.Check(); err != nil {
+			return nil, budgetErr(err)
+		}
 		op := a.Op(id)
 		kind := assay.DeviceKindFor(op.Kind)
 		cands := byKind[kind]
@@ -361,7 +375,10 @@ func deviceEntry(chip *grid.Chip, d *grid.Device, dist map[geom.Point]int) geom.
 // device) -> wp, picking the nearest usable flow and waste ports. src
 // may be nil (injection directly to dst). Avoids flushing through
 // unrelated devices and intermediate ports.
-func routeComplete(chip *grid.Chip, src, dst *grid.Device) (grid.Path, error) {
+func routeComplete(chip *grid.Chip, src, dst *grid.Device, cp *solve.Checkpoint) (grid.Path, error) {
+	if err := cp.Check(); err != nil {
+		return grid.Path{}, budgetErr(err)
+	}
 	avoid := map[geom.Point]bool{}
 	for _, d := range chip.Devices() {
 		if d == src || d == dst {
@@ -408,7 +425,7 @@ func routeComplete(chip *grid.Chip, src, dst *grid.Device) (grid.Path, error) {
 	if err != nil {
 		// Port choice may be blocked by the disjointness requirement;
 		// retry over all port pairs in distance order.
-		return routeCompleteExhaustive(chip, src, dst, opts)
+		return routeCompleteExhaustive(chip, src, dst, opts, cp)
 	}
 	if err := p.ValidateComplete(chip); err != nil {
 		return grid.Path{}, err
@@ -416,7 +433,7 @@ func routeComplete(chip *grid.Chip, src, dst *grid.Device) (grid.Path, error) {
 	return p, nil
 }
 
-func routeCompleteExhaustive(chip *grid.Chip, src, dst *grid.Device, opts route.Options) (grid.Path, error) {
+func routeCompleteExhaustive(chip *grid.Chip, src, dst *grid.Device, opts route.Options, cp *solve.Checkpoint) (grid.Path, error) {
 	// Routing the legs outward-in starves the later legs of corridors on
 	// a sparse street grid, so the plug leg (src -> dst, the part that
 	// matters most) is routed first over the virgin grid; the flow-port
@@ -430,6 +447,9 @@ func routeCompleteExhaustive(chip *grid.Chip, src, dst *grid.Device, opts route.
 	var best grid.Path
 	for _, se := range srcEntries {
 		for _, de := range dst.Cells() {
+			if err := cp.Check(); err != nil {
+				return grid.Path{}, budgetErr(err)
+			}
 			var plug grid.Path
 			if src != nil {
 				var err error
@@ -443,6 +463,9 @@ func routeCompleteExhaustive(chip *grid.Chip, src, dst *grid.Device, opts route.
 			plugUsed := plug.CellSet()
 			head := plug.First()
 			for _, fp := range chip.FlowPorts() {
+				if err := cp.Check(); err != nil {
+					return grid.Path{}, budgetErr(err)
+				}
 				inOpts := opts
 				inOpts.Blocked = withoutCell(plugUsed, head)
 				approach, err := route.ShortestPath(chip, fp.At, head, inOpts)
@@ -456,6 +479,9 @@ func routeCompleteExhaustive(chip *grid.Chip, src, dst *grid.Device, opts route.
 				halfUsed := half.CellSet()
 				tail := half.Last()
 				for _, wp := range chip.WastePorts() {
+					if err := cp.Check(); err != nil {
+						return grid.Path{}, budgetErr(err)
+					}
 					outOpts := opts
 					outOpts.Blocked = withoutCell(halfUsed, tail)
 					exit, err := route.ShortestPath(chip, tail, wp.At, outOpts)

@@ -252,7 +252,11 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 		}
 	}()
 
-	m := newModel(chip, req, heur, haveHeur)
+	cp := solve.NewCheckpoint(ctx)
+	m, err := newModel(chip, req, heur, haveHeur, &cp)
+	if err != nil {
+		return Plan{}, err
+	}
 	if m == nil {
 		return Plan{}, fmt.Errorf("washpath: no usable cells")
 	}
@@ -261,7 +265,7 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 	for round := 0; round <= maxCuts; round++ {
 		rounds = round
 		remain := time.Until(deadline)
-		if remain <= 0 || ctx.Err() != nil {
+		if remain <= 0 || cp.Err() != nil {
 			return Plan{}, fmt.Errorf("washpath: %w during cut round %d", solve.ErrBudgetExceeded, round)
 		}
 		prob := m.problem(extraCuts)
@@ -318,7 +322,12 @@ type model struct {
 	haveHeur bool
 }
 
-func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
+// newModel enumerates the usable cells and ports of the path ILP. The
+// per-target distance sweeps (one BFS over the chip each) and the cell
+// enumeration are the enumeration hot loops of the exact mode; the
+// checkpoint aborts them with ErrBudgetExceeded, which BuildContext
+// turns into the heuristic fallback.
+func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool, cp *solve.Checkpoint) (*model, error) {
 	m := &model{
 		chip: chip, targets: req.Targets,
 		cellVar: map[geom.Point]int{},
@@ -337,6 +346,10 @@ func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
 		bound := heur.Path.Len()
 		maxDist = map[geom.Point]int{}
 		for _, t := range req.Targets {
+			// One whole-chip BFS per target: poll without amortization.
+			if err := cp.Err(); err != nil {
+				return nil, fmt.Errorf("washpath: %w during model build: %w", solve.ErrBudgetExceeded, err)
+			}
 			d := route.Distances(chip, t, route.Options{AvoidDevices: forbidden})
 			for p, dd := range d {
 				if cur, ok := maxDist[p]; !ok || dd > cur {
@@ -352,6 +365,9 @@ func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
 	}
 
 	for _, p := range chip.RoutableCells() {
+		if err := cp.Check(); err != nil {
+			return nil, fmt.Errorf("washpath: %w during model build: %w", solve.ErrBudgetExceeded, err)
+		}
 		if chip.PortAt(p) != nil || forbidden[p] {
 			continue
 		}
@@ -366,7 +382,7 @@ func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
 	}
 	for _, t := range req.Targets {
 		if _, ok := m.cellVar[t]; !ok {
-			return nil // target pruned away: should not happen
+			return nil, nil // target pruned away: should not happen
 		}
 	}
 	for _, p := range chip.FlowPorts() {
@@ -403,9 +419,9 @@ func newModel(chip *grid.Chip, req Request, heur Plan, haveHeur bool) *model {
 		}
 	}
 	if m.n == 0 {
-		return nil
+		return nil, nil
 	}
-	return m
+	return m, nil
 }
 
 func adjacentToKnown(p geom.Point, known map[geom.Point]int) bool {

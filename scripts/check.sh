@@ -4,8 +4,10 @@
 # the fast test suite, and the race-detector pass over the
 # concurrency-bearing packages (the harness worker pool, the
 # context-cancellable MILP search, the observability layer, the
-# bench-diff report helpers read concurrently by tooling, and the
-# corpus generator whose sweeps are sharded across processes).
+# bench-diff report helpers read concurrently by tooling, the
+# corpus generator whose sweeps are sharded across processes, and the
+# synthesis layer whose checkpointed scheduler aborts race deadline
+# expiry from the context's timer goroutine).
 #
 # The full (non-short) suite, including the complete Table II sweeps,
 # is `go test ./...` and takes many minutes on a small machine.
@@ -29,7 +31,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus"
-go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth
 
 echo "All checks passed."
