@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race overrun check bench bench-smoke bench-diff corpus-oracle fuzz
+.PHONY: build vet test test-full race overrun check pdwd soak bench bench-smoke bench-diff corpus-oracle fuzz
 
 build:
 	go build ./...
@@ -16,7 +16,18 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth ./internal/service
+
+# The solve server (see README "Running the service").
+pdwd:
+	go build -o pdwd ./cmd/pdwd
+
+# Full service soak: >= 1000 concurrent mixed requests (cache-hot,
+# cold, budget-starved, hung-up clients, shed and coalesced solves)
+# through the real solver under the race detector, with every
+# response's schedule re-verified contamination-free.
+soak:
+	go test -race -run 'TestServiceSoak|TestSoakShedVerified' -v -count=1 ./internal/service
 
 # Bounded-overrun regression: on reagent-dense instances whose solves
 # once busted a 2 s deadline by 30+ s, every solver must return within

@@ -54,12 +54,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *listen != "" {
-		addr, err := obs.Serve(*listen)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "pdw: debug server on http://%s (metrics, expvar, pprof)\n", addr)
+	if _, err := obs.ServeDebug("pdw", *listen); err != nil {
+		fatal(err)
 	}
 
 	if *list {

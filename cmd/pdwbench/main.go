@@ -167,12 +167,8 @@ func main() {
 		obs.AddSink(eventsJSONL)
 		obs.Enable()
 	}
-	if *listen != "" {
-		addr, err := obs.Serve(*listen)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "pdwbench: debug server on http://%s (metrics, expvar, pprof)\n", addr)
+	if _, err := obs.ServeDebug("pdwbench", *listen); err != nil {
+		fatal(err)
 	}
 	if *jsonOut != "" || *baseline != "" {
 		obs.Enable() // the bench file embeds the metrics snapshot

@@ -1,0 +1,88 @@
+// Pdwd is the PathDriver-Wash solve server: a long-running HTTP/JSON
+// service that accepts assay documents and answers optimized,
+// contamination-free schedules with full solve telemetry.
+//
+//	pdwd -listen :8080
+//	curl -s localhost:8080/v1/solve -d @assay.json
+//
+// The server admits solves through a bounded worker pool (429 +
+// Retry-After when the queue is full), memoizes optimal results in an
+// LRU incumbent cache keyed on the canonical (assay, method, weights)
+// identity, coalesces identical concurrent requests onto one solve,
+// and sheds load to the cheap heuristic warm-start — flagged
+// "degraded": true — once the queue passes a watermark. See DESIGN.md
+// "Wire schema v1" for the request/response contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/service"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdwd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "address to serve the solve API on")
+		workers = flag.Int("workers", 0, "concurrent exact solves (0: GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "admission queue depth (0: 4x workers)")
+		shed    = flag.Int("shed", 0, "queue watermark that sheds solves to the heuristic warm-start (0: half the queue, -1: disable)")
+		cache   = flag.Int("cache", 0, "incumbent cache entries (0: 128, -1: disable)")
+
+		defBudget  = flag.Duration("default-budget", 30*time.Second, "budget applied to requests that carry none")
+		maxBudget  = flag.Duration("max-budget", 2*time.Minute, "upper clamp on requested budgets")
+		shedBudget = flag.Duration("shed-budget", 5*time.Second, "budget for shed heuristic solves")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+
+	// One process, one registry: solver metrics (pdw_*) and service
+	// metrics (pdwd_*) share /metrics.
+	obs.Enable()
+	srv := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue, ShedWatermark: *shed, CacheSize: *cache,
+		DefaultBudget: *defBudget, MaxBudget: *maxBudget, ShedBudget: *shedBudget,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           obs.WithDebug(srv.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "pdwd: solve server on http://%s (POST /v1/solve; /healthz, /metrics, /debug/pprof)\n", *listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "pdwd: shutting down (waiting for in-flight solves)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}

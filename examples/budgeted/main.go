@@ -25,14 +25,14 @@ func main() {
 	}
 
 	ctx := context.Background()
-	syn, err := pathdriver.SynthesizeContext(ctx, b.Assay, b.Config)
+	syn, err := pathdriver.Synthesize(ctx, b.Assay, b.Config)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: chip %dx%d, wash-free makespan %ds\n",
 		b.Name, syn.Chip.W, syn.Chip.H, syn.Schedule.Makespan())
 
-	res, err := pathdriver.OptimizeWashContext(ctx, syn.Schedule, pathdriver.PDWOptions{
+	res, err := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{
 		Budget: pathdriver.Budget{
 			Total:   time.Second,            // whole-pipeline deadline
 			PerPath: 500 * time.Millisecond, // each wash-path ILP

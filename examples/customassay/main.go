@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,7 +36,8 @@ func main() {
 	a.MustAddEdge("read1", "relabel")
 	a.MustAddEdge("relabel", "read2")
 
-	syn, err := pathdriver.Synthesize(a, pathdriver.SynthConfig{
+	ctx := context.Background()
+	syn, err := pathdriver.Synthesize(ctx, a, pathdriver.SynthConfig{
 		Devices: []pathdriver.DeviceSpec{
 			{Kind: "mixer", Count: 2},
 			{Kind: "heater", Count: 1},
@@ -46,18 +48,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := pathdriver.CompressBase(syn.Schedule, 3*time.Second)
+	ref, err := pathdriver.CompressBase(ctx, syn.Schedule, 3*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("immunoassay on a %dx%d chip, wash-free makespan %ds\n\n",
 		syn.Chip.W, syn.Chip.H, ref.Makespan())
 
-	dawoRes, err := pathdriver.Baseline(syn.Schedule, pathdriver.DAWOOptions{})
+	dawoRes, err := pathdriver.Baseline(ctx, syn.Schedule, pathdriver.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	pdwRes, err := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{})
+	pdwRes, err := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,7 +20,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	syn, err := pathdriver.SynthesizeOnChip(a, chip)
+	ctx := context.Background()
+	syn, err := pathdriver.SynthesizeOnChip(ctx, a, chip)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,13 +54,13 @@ func main() {
 	}
 
 	// PDW: optimized wash paths and time windows (Fig. 3 style).
-	res, err := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{
-		WindowTimeLimit: 10 * time.Second,
+	res, err := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{
+		Budget: pathdriver.Budget{Window: 10 * time.Second},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := pathdriver.CompressBase(syn.Schedule, 5*time.Second)
+	ref, err := pathdriver.CompressBase(ctx, syn.Schedule, 5*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,8 @@ func main() {
 	fmt.Printf("multiplexed panel: %d operations, %d dependencies\n",
 		len(panel.Ops()), len(panel.Edges()))
 
-	syn, err := pathdriver.Synthesize(panel, pathdriver.SynthConfig{
+	ctx := context.Background()
+	syn, err := pathdriver.Synthesize(ctx, panel, pathdriver.SynthConfig{
 		Devices: []pathdriver.DeviceSpec{
 			{Kind: "mixer", Count: 2},
 			{Kind: "heater", Count: 2},
@@ -55,12 +57,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ref, err := pathdriver.CompressBase(syn.Schedule, 3*time.Second)
+	ref, err := pathdriver.CompressBase(ctx, syn.Schedule, 3*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{})
+	res, err := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,8 @@ func main() {
 
 	// Synthesize the substrate: chip layout, binding, routing, and a
 	// conflict-free wash-free schedule (the PathDriver+ stand-in).
-	syn, err := pathdriver.Synthesize(a, pathdriver.SynthConfig{
+	ctx := context.Background()
+	syn, err := pathdriver.Synthesize(ctx, a, pathdriver.SynthConfig{
 		Devices: []pathdriver.DeviceSpec{{Kind: "mixer", Count: 2}},
 	})
 	if err != nil {
@@ -44,7 +46,7 @@ func main() {
 	fmt.Println(syn.Chip.Render())
 
 	// Optimize washes with PDW.
-	res, err := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{})
+	res, err := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

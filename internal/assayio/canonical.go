@@ -1,0 +1,32 @@
+package assayio
+
+import "sort"
+
+// Canonical returns a copy of doc with every order-insensitive
+// collection in a deterministic order: operations by ID, edges by
+// (from, to), devices by (kind, count). Two documents describing the
+// same assay in different list orders canonicalize to the same value,
+// which is what makes the document usable as a cache identity — the
+// solve service hashes Canonical(doc), so reordering a request's JSON
+// arrays still hits the incumbent cache. Reagent lists are left
+// untouched: reagent order is part of an operation's definition.
+func Canonical(doc Document) Document {
+	ops := append([]Operation(nil), doc.Operations...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+	edges := append([]Edge(nil), doc.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	devices := append([]DeviceSpec(nil), doc.Devices...)
+	sort.Slice(devices, func(i, j int) bool {
+		if devices[i].Kind != devices[j].Kind {
+			return devices[i].Kind < devices[j].Kind
+		}
+		return devices[i].Count < devices[j].Count
+	})
+	doc.Operations, doc.Edges, doc.Devices = ops, edges, devices
+	return doc
+}

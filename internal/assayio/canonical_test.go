@@ -1,0 +1,46 @@
+package assayio
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	a := Document{
+		Name: "x",
+		Operations: []Operation{
+			{ID: "o2", Kind: "heat", Duration: 1, Output: "f2"},
+			{ID: "o1", Kind: "mix", Duration: 2, Output: "f1", Reagents: []string{"r1", "r2"}},
+		},
+		Edges:   []Edge{{From: "o1", To: "o3"}, {From: "o1", To: "o2"}},
+		Devices: []DeviceSpec{{Kind: "mixer", Count: 2}, {Kind: "heater", Count: 1}},
+	}
+	b := Document{
+		Name: "x",
+		Operations: []Operation{
+			{ID: "o1", Kind: "mix", Duration: 2, Output: "f1", Reagents: []string{"r1", "r2"}},
+			{ID: "o2", Kind: "heat", Duration: 1, Output: "f2"},
+		},
+		Edges:   []Edge{{From: "o1", To: "o2"}, {From: "o1", To: "o3"}},
+		Devices: []DeviceSpec{{Kind: "heater", Count: 1}, {Kind: "mixer", Count: 2}},
+	}
+	ja, _ := json.Marshal(Canonical(a))
+	jb, _ := json.Marshal(Canonical(b))
+	if string(ja) != string(jb) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestCanonicalKeepsReagentOrder(t *testing.T) {
+	doc := Document{Name: "x", Operations: []Operation{
+		{ID: "o1", Kind: "mix", Duration: 1, Output: "f", Reagents: []string{"r2", "r1"}},
+	}}
+	got := Canonical(doc)
+	if got.Operations[0].Reagents[0] != "r2" {
+		t.Fatal("Canonical must not reorder reagent lists")
+	}
+	// ... and must not mutate its input.
+	if &doc.Operations[0] == &got.Operations[0] {
+		t.Fatal("Canonical must copy the operations slice")
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrQueueFull reports an admission rejection: every worker is busy and
+// the waiting queue is at capacity. Callers translate it into
+// backpressure (cmd/pdwd answers 429 with Retry-After).
+var ErrQueueFull = errors.New("harness: queue full")
+
+// Pool is a bounded-concurrency, bounded-queue executor: the admission
+// side of the worker pool. Run/RunPartial spread a known job list over
+// workers; Pool is the dual for open-ended request traffic — callers
+// bring their own goroutines (one per request) and Do gates how many of
+// them compute at once and how many may wait, rejecting the rest
+// immediately so overload surfaces as fast feedback instead of
+// unbounded latency. The solve service (internal/service) runs every
+// full solve through a Pool.
+type Pool struct {
+	workers chan struct{} // worker slots; len == running
+	queue   chan struct{} // waiting tickets; len == queued
+	waiting atomic.Int64
+	running atomic.Int64
+}
+
+// NewPool returns a pool with the given number of worker slots
+// (non-positive: GOMAXPROCS) and waiting-queue capacity (negative: 0 —
+// admission fails whenever every worker is busy).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		workers: make(chan struct{}, workers),
+		queue:   make(chan struct{}, queueDepth),
+	}
+}
+
+// Do runs f on the caller's goroutine once a worker slot is free. If
+// all slots are busy it waits in the admission queue; a full queue
+// fails immediately with ErrQueueFull, and a ctx canceled while waiting
+// fails with ctx.Err(). f itself is never interrupted by Do — it
+// receives ctx and honors cancellation through the solver layers'
+// checkpoints.
+func (p *Pool) Do(ctx context.Context, f func(context.Context)) error {
+	select {
+	case p.workers <- struct{}{}:
+	default:
+		select {
+		case p.queue <- struct{}{}:
+		default:
+			return ErrQueueFull
+		}
+		p.waiting.Add(1)
+		leave := func() {
+			p.waiting.Add(-1)
+			<-p.queue
+		}
+		select {
+		case p.workers <- struct{}{}:
+			leave()
+		case <-ctx.Done():
+			leave()
+			return ctx.Err()
+		}
+	}
+	p.running.Add(1)
+	defer func() {
+		p.running.Add(-1)
+		<-p.workers
+	}()
+	f(ctx)
+	return nil
+}
+
+// Depth is the number of requests currently waiting for a worker slot.
+// The service's load-shedding watermark compares against it.
+func (p *Pool) Depth() int { return int(p.waiting.Load()) }
+
+// Running is the number of requests currently executing.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Workers is the worker-slot capacity.
+func (p *Pool) Workers() int { return cap(p.workers) }
+
+// QueueCap is the waiting-queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.queue) }

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolConcurrencyCap(t *testing.T) {
+	const workers, jobs = 3, 20
+	p := NewPool(workers, jobs)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func(context.Context) {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+	if p.Depth() != 0 || p.Running() != 0 {
+		t.Fatalf("pool not drained: depth=%d running=%d", p.Depth(), p.Running())
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	// Fill the single queue slot.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.Do(context.Background(), func(context.Context) {})
+	}()
+	waitFor(t, "queued request", func() bool { return p.Depth() == 1 })
+
+	// Admission is now full: worker busy, queue at capacity.
+	if err := p.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+
+	close(release)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+func TestPoolCancelWhileWaiting(t *testing.T) {
+	p := NewPool(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(context.Context) {
+			t.Error("canceled request must not run")
+		})
+	}()
+	waitFor(t, "request to queue", func() bool { return p.Depth() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	waitFor(t, "queue slot released", func() bool { return p.Depth() == 0 })
+
+	// The pool still works after the canceled wait released its ticket.
+	close(release)
+	if err := p.Do(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("post-cancel Do: %v", err)
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, -5)
+	if p.Workers() < 1 {
+		t.Fatalf("default workers = %d, want >= 1", p.Workers())
+	}
+	if p.QueueCap() != 0 {
+		t.Fatalf("negative queue depth should clamp to 0, got %d", p.QueueCap())
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"strings"
 	"sync"
 )
 
@@ -63,4 +65,37 @@ func Serve(addr string) (string, error) {
 	srv := &http.Server{Handler: Handler()}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
+}
+
+// ServeDebug is the shared wiring behind every cmd's -listen flag: an
+// empty addr is a no-op, otherwise it starts Serve and prints the
+// standard banner for the tool on stderr. cmd/pdw, cmd/pdwbench, and
+// cmd/pdwd all route their flag through here so the debug surface stays
+// identical across binaries.
+func ServeDebug(tool, addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	bound, err := Serve(addr)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug server on http://%s (metrics, expvar, pprof)\n", tool, bound)
+	return bound, nil
+}
+
+// WithDebug composes an application handler with the debug surface:
+// /metrics, /debug/..., and the bare "/" index are served by Handler,
+// everything else by app. cmd/pdwd uses it to expose the solve API and
+// the observability endpoints on one listener.
+func WithDebug(app http.Handler) http.Handler {
+	debug := Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/" || r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/"):
+			debug.ServeHTTP(w, r)
+		default:
+			app.ServeHTTP(w, r)
+		}
+	})
 }

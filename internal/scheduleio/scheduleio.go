@@ -46,6 +46,17 @@ type TaskInfo struct {
 
 // Encode writes the schedule as indented JSON.
 func Encode(w io.Writer, s *schedule.Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ToDocument(s)); err != nil {
+		return fmt.Errorf("scheduleio: %w", err)
+	}
+	return nil
+}
+
+// ToDocument converts a schedule into its JSON document shape, the
+// form embedded in solve-service responses (internal/service).
+func ToDocument(s *schedule.Schedule) Document {
 	doc := Document{
 		Chip: ChipInfo{
 			Name: s.Chip.Name, Width: s.Chip.W, Height: s.Chip.H,
@@ -70,10 +81,5 @@ func Encode(w io.Writer, s *schedule.Schedule) error {
 		}
 		doc.Tasks = append(doc.Tasks, ti)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		return fmt.Errorf("scheduleio: %w", err)
-	}
-	return nil
+	return doc
 }

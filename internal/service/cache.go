@@ -1,0 +1,106 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"pathdriverwash/internal/schedule"
+)
+
+// outcome is what one solve produced: the wire response template plus
+// the in-memory schedule (kept so callers can re-verify without
+// decoding the document), or an error. Callers copy the response and
+// stamp per-request flags (Cached, Coalesced) on the copy.
+type outcome struct {
+	resp  *SolveResponse
+	sched *schedule.Schedule
+	err   error
+}
+
+// flight is one in-flight solve for a cache key. res is written
+// exactly once, before done is closed; waiters read it only after
+// <-done, which gives the required happens-before edge.
+type flight struct {
+	done chan struct{}
+	res  *outcome
+}
+
+// cacheEntry is one committed LRU cell.
+type cacheEntry struct {
+	key string
+	res *outcome
+}
+
+// lruCache is the incumbent cache with single-flight coalescing:
+// committed results live in an LRU of size max; at most one solve per
+// key is in flight, and identical concurrent requests wait on the
+// leader's flight instead of solving again. In-flight entries are
+// pinned — they occupy no LRU slot and cannot be evicted.
+type lruCache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List               // committed, front = most recent
+	m        map[string]*list.Element // committed, by key
+	inflight map[string]*flight
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:      max,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// acquire resolves a key three ways: a committed hit (hit != nil), an
+// in-flight solve to coalesce onto (fl != nil, leader false), or a
+// miss that elects the caller leader (fl != nil, leader true). A
+// leader MUST eventually call publish on its flight, or followers
+// block forever.
+func (c *lruCache) acquire(key string) (hit *outcome, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, nil, false
+	}
+	if f, ok := c.inflight[key]; ok {
+		return nil, f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return nil, f, true
+}
+
+// publish completes a flight: hands res to every waiter and, iff keep,
+// commits it to the LRU (evicting the oldest entry past capacity).
+// Degraded, canceled, and failed solves publish with keep=false so the
+// cache only ever serves full-fidelity results.
+func (c *lruCache) publish(key string, fl *flight, res *outcome, keep bool) {
+	fl.res = res
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if keep && c.max > 0 {
+		if el, ok := c.m[key]; ok { // lost a race with a re-commit; refresh
+			c.ll.MoveToFront(el)
+			el.Value.(*cacheEntry).res = res
+		} else {
+			c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+			for c.ll.Len() > c.max {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.m, oldest.Value.(*cacheEntry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// Len reports the number of committed entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"hash/fnv"
+
+	"pathdriverwash/internal/assayio"
+	"pathdriverwash/pkg/pathdriver"
+)
+
+// Key computes the canonical cache identity of a request: an FNV-128a
+// hash over the schema version, the resolved method, the canonicalized
+// assay document (operation/edge/device order does not matter), and
+// the options with the budget zeroed. The budget is deliberately not
+// part of the identity — a cached full-budget optimum is at least as
+// good an answer for the same request under a smaller budget — and
+// degraded or budget-truncated results are never committed to the
+// cache, so the asymmetry is safe.
+func Key(r *SolveRequest) string {
+	method := r.Method
+	if method == "" {
+		method = pathdriver.MethodPDW
+	}
+	opts := r.Options
+	opts.Budget = pathdriver.Budget{}
+	payload := struct {
+		Schema  string             `json:"schema"`
+		Method  pathdriver.Method  `json:"method"`
+		Assay   assayio.Document   `json:"assay"`
+		Options pathdriver.Options `json:"options"`
+	}{SchemaV1, method, assayio.Canonical(r.Assay), opts}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// Documents are plain data; marshaling only fails on NaN-like
+		// float values, which also make the request unsolvable. A
+		// degenerate shared key is harmless: the cache only ever serves
+		// committed successful results.
+		return "unhashable"
+	}
+	h := fnv.New128a()
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/solve   — one SolveRequest in, one SolveResponse out
+//	GET  /healthz    — liveness plus live admission counters
+//
+// Observability endpoints (/metrics, /debug/...) are not mounted here;
+// cmd/pdwd wraps this handler with obs.WithDebug.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Solve(r.Context(), req)
+	if err != nil {
+		code := CodeFor(err)
+		if code == http.StatusTooManyRequests {
+			// The queue drains at solve speed; a second is long enough
+			// for several heuristic solves and short enough to retry an
+			// exact one promptly.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, cached := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"schema": SchemaV1,
+		"queued": queued, "running": running, "cached": cached,
+	})
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == 499 { // non-standard; the client is gone anyway
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, &SolveResponse{Schema: SchemaV1, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Once the status line is written a failed encode (client gone,
+	// broken pipe) has no recovery; the connection just closes.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathdriverwash/internal/solve"
+	"pathdriverwash/pkg/pathdriver"
+)
+
+// TestServiceSoak drives the full service — real solver, admission
+// control, cache, coalescing, shedding — with a storm of concurrent
+// mixed requests: cache-hot repeats, cold uniques, budget-starved
+// solves, hung-up clients, DAWO runs, exact solves, and a slice of
+// plain HTTP traffic. Every successful response (including degraded
+// and shed ones) must carry a verified contamination-free schedule,
+// and the cache must demonstrably work (hit counter > 0, a final
+// repeat request served from cache).
+//
+// `make soak` runs it in full (>= 1000 requests) under the race
+// detector; -short runs a scaled-down version inside tier-1 and the
+// scripts/check.sh race gate.
+func TestServiceSoak(t *testing.T) {
+	n, clients := 1200, 64
+	if testing.Short() {
+		n, clients = 100, 32
+	}
+
+	s := newTestServer(Config{
+		QueueDepth:    32,
+		CacheSize:     64,
+		DefaultBudget: 5 * time.Second,
+		MaxBudget:     10 * time.Second,
+		ShedBudget:    2 * time.Second,
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	bg := context.Background()
+
+	// Requests are built goroutine-side from this precomputed document
+	// (t.Fatal inside motivatingReq is only legal on the test goroutine).
+	baseDoc := motivatingReq(t, "", pathdriver.Options{}).Assay
+	mkReq := func(method pathdriver.Method, opts pathdriver.Options) *SolveRequest {
+		return &SolveRequest{Method: method, Assay: baseDoc, Options: opts}
+	}
+	mkUnique := func(i int) *SolveRequest {
+		return mkReq("", pathdriver.Options{Weights: pathdriver.Weights{Alpha: 0.001 * float64(i+1)}})
+	}
+
+	// Four hot keys (distinct weights) plus one burst key that is NOT
+	// pre-warmed, so concurrent requests for it exercise coalescing.
+	hot := make([]*SolveRequest, 4)
+	for i := range hot {
+		r := motivatingReq(t, "", pathdriver.Options{Heuristic: true})
+		r.Options.Weights.Gamma = 0.4 + 0.01*float64(i)
+		hot[i] = r
+	}
+	burst := motivatingReq(t, "", pathdriver.Options{Heuristic: true})
+	burst.Options.Weights.Beta = 0.123
+
+	// Warm the hot keys sequentially (empty queue: no shedding), so the
+	// storm below hits a populated cache deterministically.
+	for _, r := range hot {
+		res, err := s.Solve(bg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pathdriver.VerifyClean(res.Sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, clients)
+		mu     sync.Mutex
+		counts = map[string]int{}
+	)
+	record := func(k string) { mu.Lock(); counts[k]++; mu.Unlock() }
+	// acceptable classifies the errors load and hang-ups legitimately
+	// produce; anything else fails the soak.
+	acceptable := func(err error) bool {
+		return errors.Is(err, solve.ErrBudgetExceeded) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			CodeFor(err) == http.StatusTooManyRequests
+	}
+	checkResult := func(kind string, res *Result, err error) {
+		if err != nil {
+			if !acceptable(err) {
+				t.Errorf("%s: %v", kind, err)
+				return
+			}
+			record(kind + "-err")
+			return
+		}
+		if verr := pathdriver.VerifyClean(res.Sched); verr != nil {
+			t.Errorf("%s: contaminated schedule: %v", kind, verr)
+		}
+		record(kind)
+		if res.Resp.Degraded {
+			record("degraded")
+		}
+		if res.Resp.Cached {
+			record("cached")
+		}
+		if res.Resp.Coalesced {
+			record("coalesced")
+		}
+	}
+
+	for i := range n {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			switch {
+			case i%25 == 24: // plain HTTP traffic on hot keys
+				body, err := json.Marshal(hot[i%len(hot)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				var out SolveResponse
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					t.Errorf("http: decode: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if out.Schema != SchemaV1 || out.Schedule == nil {
+						t.Errorf("http: malformed 200: %+v", out)
+					}
+					record("http")
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					record("http-err")
+				default:
+					t.Errorf("http: status %d: %s", resp.StatusCode, out.Error)
+				}
+			case i%10 == 9: // client hangs up immediately
+				ctx, cancel := context.WithCancel(bg)
+				cancel()
+				res, err := s.Solve(ctx, hot[i%len(hot)])
+				if err == nil && res.Resp.Cached {
+					record("canceled-hit")
+				} else {
+					record("canceled")
+				}
+			case i%97 == 77: // concurrent identical cold key: coalesces
+				res, err := s.Solve(bg, burst)
+				checkResult("burst", res, err)
+			case i%120 == 17: // exact solve under a real budget
+				r := mkReq("", pathdriver.Options{})
+				r.Options.Weights.Alpha = 0.3 + 0.0001*float64(i)
+				r.Options.Budget.Total = 2 * time.Second
+				res, err := s.Solve(bg, r)
+				checkResult("exact", res, err)
+			case i%13 == 7: // budget-starved: degrades or 503s, never hangs
+				r := mkUnique(i)
+				r.Options.Budget.Total = time.Millisecond
+				res, err := s.Solve(bg, r)
+				checkResult("starved", res, err)
+			case i%11 == 3: // DAWO baseline
+				r := mkReq(pathdriver.MethodDAWO, pathdriver.Options{})
+				r.Options.MaxRounds = 10 + i%3
+				res, err := s.Solve(bg, r)
+				checkResult("dawo", res, err)
+			case i%5 == 4: // cold unique heuristic solve
+				res, err := s.Solve(bg, mkUnique(i))
+				checkResult("cold", res, err)
+			default: // cache-hot repeat
+				res, err := s.Solve(bg, hot[i%len(hot)])
+				checkResult("hot", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The cache must have carried real weight during the storm.
+	if hits := s.mHits.Value(); hits <= 0 {
+		t.Fatalf("cache hit counter = %d, want > 0", hits)
+	}
+	if counts["cached"] == 0 {
+		t.Fatal("no response was served from cache")
+	}
+	// And a final identical request is a deterministic hit.
+	res, err := s.Solve(bg, hot[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resp.Cached {
+		t.Fatal("final repeat of a warmed request must be served from cache")
+	}
+
+	queued, running, cached := s.Stats()
+	t.Logf("soak n=%d: %v; hits=%d misses=%d coalesced=%d shed=%d rejected=%d; end state queued=%d running=%d cached=%d",
+		n, sortedCounts(counts), s.mHits.Value(), s.mMisses.Value(),
+		s.mCoalesced.Value(), s.mShed.Value(), s.mRejected.Value(), queued, running, cached)
+}
+
+func sortedCounts(m map[string]int) string {
+	b, _ := json.Marshal(m)
+	return string(b)
+}
+
+// TestSoakShedVerified forces the shed path with real solves and
+// verifies every degraded response: under a single-worker pool with a
+// watermark of 1, a burst of cold exact requests must shed, and each
+// shed schedule must still verify contamination-free.
+func TestSoakShedVerified(t *testing.T) {
+	s := newTestServer(Config{
+		Workers: 1, QueueDepth: 8, ShedWatermark: 1, CacheSize: -1,
+		DefaultBudget: 5 * time.Second, ShedBudget: 2 * time.Second,
+	})
+	const n = 12
+	baseDoc := motivatingReq(t, "", pathdriver.Options{}).Assay
+	var wg sync.WaitGroup
+	degraded := make([]bool, n)
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := &SolveRequest{Assay: baseDoc, Options: pathdriver.Options{
+				Weights: pathdriver.Weights{Alpha: 0.001 * float64(i+1)},
+			}}
+			res, err := s.Solve(context.Background(), req)
+			if err != nil {
+				if errors.Is(err, solve.ErrBudgetExceeded) {
+					return
+				}
+				t.Error(err)
+				return
+			}
+			if err := pathdriver.VerifyClean(res.Sched); err != nil {
+				t.Errorf("request %d (degraded=%v): %v", i, res.Resp.Degraded, err)
+			}
+			degraded[i] = res.Resp.Degraded
+		}()
+	}
+	wg.Wait()
+	shed := 0
+	for _, d := range degraded {
+		if d {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no request shed under a 1-worker pool with watermark 1 (%d requests)", n)
+	}
+	if got := s.mShed.Value(); got != int64(shed) {
+		t.Fatalf("shed counter %d != %d degraded responses", got, shed)
+	}
+}

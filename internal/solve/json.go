@@ -1,0 +1,74 @@
+package solve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// JSON wire forms. Budget is embedded verbatim in the pdwd service's
+// request schema (internal/service, DESIGN.md "Wire schema v1"), so it
+// marshals durations in the human-friendly Go duration syntax ("2s",
+// "1.5s") and accepts either that or raw integer nanoseconds on decode.
+
+// Duration is a time.Duration with wire-friendly JSON: it marshals as
+// the duration string and unmarshals from a duration string or an
+// integer nanosecond count.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its String form ("2s").
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "2s"-style strings and integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("solve: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("solve: duration must be a string or nanoseconds: %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// budgetWire mirrors Budget field for field; keeping it separate from
+// Budget avoids MarshalJSON recursion while pinning the wire names.
+type budgetWire struct {
+	Total   Duration `json:"total,omitempty"`
+	PerPath Duration `json:"per_path,omitempty"`
+	Window  Duration `json:"window,omitempty"`
+}
+
+// MarshalJSON renders the budget with duration strings:
+// {"total":"2s","per_path":"500ms"}. Zero fields are omitted.
+func (b Budget) MarshalJSON() ([]byte, error) {
+	return json.Marshal(budgetWire{
+		Total: Duration(b.Total), PerPath: Duration(b.PerPath), Window: Duration(b.Window),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; every field also accepts
+// integer nanoseconds. Unknown budget fields are rejected, keeping the
+// wire schema strict even when a caller decodes a Budget on its own
+// (custom UnmarshalJSON would otherwise bypass the enclosing decoder's
+// DisallowUnknownFields).
+func (b *Budget) UnmarshalJSON(data []byte) error {
+	var w budgetWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	b.Total, b.PerPath, b.Window = time.Duration(w.Total), time.Duration(w.PerPath), time.Duration(w.Window)
+	return nil
+}

@@ -1,0 +1,104 @@
+package solve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBudgetJSONRoundTrip(t *testing.T) {
+	b := Budget{Total: 2 * time.Second, PerPath: 500 * time.Millisecond, Window: 10 * time.Second}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"total":"2s","per_path":"500ms","window":"10s"}`
+	if string(data) != want {
+		t.Fatalf("marshal: got %s want %s", data, want)
+	}
+	var back Budget
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Fatalf("round trip: got %+v want %+v", back, b)
+	}
+}
+
+func TestBudgetJSONZeroOmits(t *testing.T) {
+	data, err := json.Marshal(Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("zero budget: got %s want {}", data)
+	}
+}
+
+func TestBudgetJSONAcceptsNanoseconds(t *testing.T) {
+	var b Budget
+	if err := json.Unmarshal([]byte(`{"total":2000000000}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 2*time.Second {
+		t.Fatalf("ns decode: got %v want 2s", b.Total)
+	}
+}
+
+func TestBudgetJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"total":"2 parsecs"}`,      // unparseable duration
+		`{"total":true}`,             // wrong type
+		`{"deadline":"2s"}`,          // unknown field
+		`{"total":"2s","extra":"x"}`, // unknown field beside a valid one
+	}
+	for _, c := range cases {
+		var b Budget
+		if err := json.Unmarshal([]byte(c), &b); err == nil {
+			t.Errorf("decode %s: expected error, got %+v", c, b)
+		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := &Stats{
+		Phases: []PhaseStat{{Name: "wash-insertion", Wall: 42 * time.Millisecond}},
+		MILPs: []MILPStat{{
+			Label: "window-milp", Vars: 10, IntVars: 4, Constraints: 20,
+			Nodes: 7, Pruned: 3, SimplexIters: 99, Status: "optimal", Optimal: true,
+			Wall:       time.Millisecond,
+			Incumbents: []Incumbent{{Obj: 1.5, Node: 2, Elapsed: time.Millisecond}},
+		}},
+		Skips:    map[string]int{"type2-same-fluid": 3},
+		Canceled: true,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatalf("re-marshal mismatch:\n%s\n%s", data, again)
+	}
+	for _, key := range []string{`"phases"`, `"milps"`, `"skips"`, `"canceled"`, `"wall_ns"`, `"simplex_iters"`} {
+		if !contains(string(data), key) {
+			t.Errorf("marshal missing %s in %s", key, data)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -14,54 +14,63 @@ import (
 // Incumbent is one point of a branch & bound incumbent trajectory: a new
 // best feasible solution found Elapsed into the solve at node Node.
 type Incumbent struct {
-	Obj     float64
-	Node    int
-	Elapsed time.Duration
+	Obj     float64       `json:"obj"`
+	Node    int           `json:"node"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // MILPStat describes one ILP/MILP solve: its size, the branch & bound
 // work it did, and how it ended.
 type MILPStat struct {
 	// Label identifies the solve ("wash-path w3", "window-milp", ...).
-	Label string
+	Label string `json:"label"`
 	// Vars / IntVars / Constraints give the model size.
-	Vars, IntVars, Constraints int
+	Vars        int `json:"vars"`
+	IntVars     int `json:"int_vars"`
+	Constraints int `json:"constraints"`
 	// Nodes and Pruned count branch & bound subproblems explored and
 	// discarded by bound; SimplexIters sums LP pivots across all node
 	// relaxations.
-	Nodes, Pruned, SimplexIters int
+	Nodes        int `json:"nodes"`
+	Pruned       int `json:"pruned"`
+	SimplexIters int `json:"simplex_iters"`
 	// Status is the solver's final status string.
-	Status string
+	Status string `json:"status"`
 	// Optimal reports a proven optimum (false: best-effort incumbent).
-	Optimal bool
+	Optimal bool `json:"optimal"`
 	// Wall is the solve's wall-clock time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Incumbents is the incumbent trajectory of the solve.
-	Incumbents []Incumbent
+	Incumbents []Incumbent `json:"incumbents,omitempty"`
 }
 
 // PhaseStat is the wall time of one pipeline phase.
 type PhaseStat struct {
-	Name string
-	Wall time.Duration
+	Name string        `json:"name"`
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // Stats is the structured telemetry of one optimizer run, threaded
 // through the solve call path. All methods are safe for concurrent use
 // and tolerate a nil receiver, so call sites never need to guard.
+// Stats marshals to JSON with stable snake_case field names and
+// duration fields in nanoseconds — it is the telemetry half of the pdwd
+// solve response (DESIGN.md "Wire schema v1"). Marshal only after the
+// solve has finished: encoding/json reads the exported fields without
+// taking mu.
 type Stats struct {
 	mu sync.Mutex
 	// Phases are the pipeline phases in execution order.
-	Phases []PhaseStat
+	Phases []PhaseStat `json:"phases,omitempty"`
 	// MILPs are the ILP solves, in execution order.
-	MILPs []MILPStat
+	MILPs []MILPStat `json:"milps,omitempty"`
 	// Skips counts contamination events excused per Type 1/2/3 rule
 	// (keys "type1-unused", "type2-same-fluid", "type3-waste-only",
 	// "wash-needed").
-	Skips map[string]int
+	Skips map[string]int `json:"skips,omitempty"`
 	// Canceled reports that the run's context was canceled or its
 	// deadline expired and later phases degraded to incumbents.
-	Canceled bool
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // StartPhase opens a named phase and returns the closer that records

@@ -1,0 +1,92 @@
+package pathdriver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func motivatingRequest(t *testing.T, method Method, opts Options) Request {
+	t.Helper()
+	a, _, err := MotivatingExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{
+		Assay:   NewAssayDocument(a, SynthConfig{}),
+		Method:  method,
+		Options: opts,
+	}
+}
+
+func TestSolvePDW(t *testing.T) {
+	resp, err := Solve(context.Background(), motivatingRequest(t, "", Options{Heuristic: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != MethodPDW {
+		t.Fatalf("default method = %q, want pdw", resp.Method)
+	}
+	if err := VerifyClean(resp.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Washes == 0 || resp.Metrics.NWash != resp.Washes {
+		t.Fatalf("washes=%d metrics.NWash=%d", resp.Washes, resp.Metrics.NWash)
+	}
+	if resp.Stats == nil || len(resp.Stats.Phases) == 0 {
+		t.Fatal("no solve telemetry on response")
+	}
+	if resp.Reference == nil || resp.Reference.Makespan() == 0 {
+		t.Fatal("no reference schedule")
+	}
+}
+
+func TestSolveDAWO(t *testing.T) {
+	resp, err := Solve(context.Background(), motivatingRequest(t, MethodDAWO, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != MethodDAWO {
+		t.Fatalf("method = %q", resp.Method)
+	}
+	if err := VerifyClean(resp.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBudgetDegrades(t *testing.T) {
+	// A budget too small for the exact ILPs must still return a clean
+	// schedule, flagged canceled — the service's graceful-degradation
+	// contract rides on this.
+	resp, err := Solve(context.Background(), motivatingRequest(t, MethodPDW, Options{
+		Budget: Budget{Total: 50 * time.Millisecond},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClean(resp.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Stats.Canceled {
+		t.Log("note: solve finished inside the budget; Canceled unset")
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	if _, err := Solve(context.Background(), Request{}); err == nil {
+		t.Fatal("empty request must fail")
+	}
+	req := motivatingRequest(t, "teleport", Options{Heuristic: true})
+	if _, err := Solve(context.Background(), req); !errors.Is(err, ErrInvalidAssay) {
+		t.Fatalf("unknown method: err = %v, want ErrInvalidAssay", err)
+	}
+}
+
+func TestSolveCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, motivatingRequest(t, MethodPDW, Options{})); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}

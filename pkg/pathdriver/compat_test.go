@@ -1,0 +1,132 @@
+package pathdriver
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"pathdriverwash/internal/scheduleio"
+)
+
+// The deprecated wrappers must stay thin: same signatures, same results
+// as the canonical context-first path. These are compile-time pins —
+// changing a wrapper's signature breaks the build, which is the point.
+var (
+	_ func(context.Context, *Assay, SynthConfig) (*SynthResult, error)   = SynthesizeContext
+	_ func(context.Context, *Assay, *Chip) (*SynthResult, error)         = SynthesizeOnChipContext
+	_ func(context.Context, *Schedule, PDWOptions) (*PDWResult, error)   = OptimizeWashContext
+	_ func(context.Context, *Schedule, DAWOOptions) (*DAWOResult, error) = BaselineContext
+	_ func(context.Context, *Schedule, time.Duration) (*Schedule, error) = CompressBaseContext
+	_ func(context.Context, *Assay, SynthConfig) (*SynthResult, error)   = Synthesize
+	_ func(context.Context, *Schedule, Options) (*PDWResult, error)      = OptimizeWash
+	_ func(context.Context, *Schedule, Options) (*DAWOResult, error)     = Baseline
+	_ func(context.Context, Request) (*Response, error)                  = Solve
+)
+
+// scheduleBytes encodes a schedule in its canonical JSON form, the
+// byte-identity oracle for the equivalence checks below.
+func scheduleBytes(t *testing.T, s *Schedule) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := scheduleio.Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeprecatedWrappersMatchCanonical proves the old names are
+// behavior-identical to the redesigned API on the paper's motivating
+// example: same synthesized schedule, same optimized schedule, same
+// objective, byte for byte.
+func TestDeprecatedWrappersMatchCanonical(t *testing.T) {
+	ctx := context.Background()
+	a, chip, err := MotivatingExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canonSyn, err := SynthesizeOnChip(ctx, a, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSyn, err := SynthesizeOnChipContext(ctx, a, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scheduleBytes(t, canonSyn.Schedule), scheduleBytes(t, oldSyn.Schedule)) {
+		t.Fatal("SynthesizeOnChipContext diverges from SynthesizeOnChip")
+	}
+
+	// Heuristic mode keeps the test fast; the lowering from the shared
+	// Options to pdw.Options is what is under test, not the ILPs.
+	canonRes, err := OptimizeWash(ctx, canonSyn.Schedule, Options{Heuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRes, err := OptimizeWashContext(ctx, oldSyn.Schedule, PDWOptions{
+		HeuristicPaths: true, HeuristicWindows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRes.Objective != oldRes.Objective || len(canonRes.Washes) != len(oldRes.Washes) {
+		t.Fatalf("PDW wrapper diverges: objective %v vs %v, washes %d vs %d",
+			canonRes.Objective, oldRes.Objective, len(canonRes.Washes), len(oldRes.Washes))
+	}
+	if !bytes.Equal(scheduleBytes(t, canonRes.Schedule), scheduleBytes(t, oldRes.Schedule)) {
+		t.Fatal("OptimizeWashContext schedule diverges from OptimizeWash")
+	}
+
+	canonBase, err := Baseline(ctx, canonSyn.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBase, err := BaselineContext(ctx, oldSyn.Schedule, DAWOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scheduleBytes(t, canonBase.Schedule), scheduleBytes(t, oldBase.Schedule)) {
+		t.Fatal("BaselineContext schedule diverges from Baseline")
+	}
+
+	canonRef, err := CompressBase(ctx, canonSyn.Schedule, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRef, err := CompressBaseContext(ctx, oldSyn.Schedule, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scheduleBytes(t, canonRef), scheduleBytes(t, oldRef)) {
+		t.Fatal("CompressBaseContext schedule diverges from CompressBase")
+	}
+}
+
+// TestOptionsLowering pins the field mapping from the shared Options to
+// the per-optimizer structs.
+func TestOptionsLowering(t *testing.T) {
+	o := Options{
+		Budget:      Budget{Total: time.Second, PerPath: 2 * time.Second, Window: 3 * time.Second},
+		Weights:     Weights{Alpha: 0.1, Beta: 0.2, Gamma: 0.7},
+		MergeRadius: 5, MaxRounds: 7, Heuristic: true,
+		DisableNecessity: true, DisableMerge: true, DisableIntegration: true,
+	}
+	p := o.pdwOptions()
+	if p.Alpha != 0.1 || p.Beta != 0.2 || p.Gamma != 0.7 {
+		t.Fatalf("weights not lowered: %+v", p)
+	}
+	if p.Budget != o.Budget || p.MergeRadius != 5 || p.MaxRounds != 7 {
+		t.Fatalf("budget/knobs not lowered: %+v", p)
+	}
+	if !p.HeuristicPaths || !p.HeuristicWindows {
+		t.Fatal("Heuristic must select both heuristic paths and windows")
+	}
+	if !p.DisableNecessity || !p.DisableMerge || !p.DisableIntegration {
+		t.Fatal("ablation switches not lowered")
+	}
+	d := o.dawoOptions()
+	if d.Budget != o.Budget || d.MaxRounds != 7 {
+		t.Fatalf("DAWO lowering wrong: %+v", d)
+	}
+}

@@ -46,7 +46,7 @@ func TestContextAPIEndToEnd(t *testing.T) {
 
 func TestCanceledContextDegradesNotErrors(t *testing.T) {
 	a := buildAssay(t)
-	syn, err := Synthesize(a, SynthConfig{
+	syn, err := Synthesize(context.Background(), a, SynthConfig{
 		Devices: []DeviceSpec{{Kind: "mixer", Count: 2}},
 	})
 	if err != nil {
@@ -72,13 +72,13 @@ func TestCanceledContextDegradesNotErrors(t *testing.T) {
 
 func TestSentinelReExports(t *testing.T) {
 	// An assay needing a mixer against a heater-only library.
-	_, err := Synthesize(buildAssay(t), SynthConfig{
+	_, err := Synthesize(context.Background(), buildAssay(t), SynthConfig{
 		Devices: []DeviceSpec{{Kind: "heater", Count: 1}},
 	})
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
-	if _, err := Synthesize(NewAssay("empty"), SynthConfig{}); !errors.Is(err, ErrInvalidAssay) {
+	if _, err := Synthesize(context.Background(), NewAssay("empty"), SynthConfig{}); !errors.Is(err, ErrInvalidAssay) {
 		t.Fatalf("err = %v, want ErrInvalidAssay", err)
 	}
 }

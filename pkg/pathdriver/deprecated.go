@@ -1,0 +1,62 @@
+package pathdriver
+
+import (
+	"context"
+	"time"
+
+	"pathdriverwash/internal/dawo"
+	"pathdriverwash/internal/pdw"
+)
+
+// Pre-redesign API surface. The package used to expose X/XContext
+// pairs and per-optimizer option structs; the canonical API is now
+// context-first with one shared Options shape (see api.go). Every old
+// name below is a thin delegating wrapper with byte-identical behavior
+// — compat_test.go pins that — so existing callers keep compiling, but
+// new code should use the canonical forms.
+
+// PDWOptions tunes PathDriver-Wash.
+//
+// Deprecated: use the shared Options with OptimizeWash, which covers
+// the same knobs (weights, budget, heuristics, ablation switches).
+type PDWOptions = pdw.Options
+
+// DAWOOptions tunes the baseline.
+//
+// Deprecated: use the shared Options with Baseline.
+type DAWOOptions = dawo.Options
+
+// SynthesizeContext is the old name of Synthesize.
+//
+// Deprecated: use Synthesize, which is context-first.
+func SynthesizeContext(ctx context.Context, a *Assay, cfg SynthConfig) (*SynthResult, error) {
+	return Synthesize(ctx, a, cfg)
+}
+
+// SynthesizeOnChipContext is the old name of SynthesizeOnChip.
+//
+// Deprecated: use SynthesizeOnChip, which is context-first.
+func SynthesizeOnChipContext(ctx context.Context, a *Assay, c *Chip) (*SynthResult, error) {
+	return SynthesizeOnChip(ctx, a, c)
+}
+
+// OptimizeWashContext runs PDW with the per-optimizer PDWOptions.
+//
+// Deprecated: use OptimizeWash with the shared Options.
+func OptimizeWashContext(ctx context.Context, base *Schedule, opts PDWOptions) (*PDWResult, error) {
+	return pdw.OptimizeContext(ctx, base, opts)
+}
+
+// BaselineContext runs DAWO with the per-optimizer DAWOOptions.
+//
+// Deprecated: use Baseline with the shared Options.
+func BaselineContext(ctx context.Context, base *Schedule, opts DAWOOptions) (*DAWOResult, error) {
+	return dawo.OptimizeContext(ctx, base, opts)
+}
+
+// CompressBaseContext is the old name of CompressBase.
+//
+// Deprecated: use CompressBase, which is context-first.
+func CompressBaseContext(ctx context.Context, base *Schedule, limit time.Duration) (*Schedule, error) {
+	return CompressBase(ctx, base, limit)
+}

@@ -1,6 +1,7 @@
 package pathdriver_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func ExampleSynthesize() {
 		ID: "mix", Kind: pathdriver.Mix, Duration: 2, Output: "product",
 		Reagents: []pathdriver.FluidType{"sample", "reagent"},
 	})
-	syn, err := pathdriver.Synthesize(a, pathdriver.SynthConfig{})
+	syn, err := pathdriver.Synthesize(context.Background(), a, pathdriver.SynthConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,13 +45,13 @@ func ExampleOptimizeWash() {
 	})
 	a.MustAddEdge("o1", "o2")
 	a.MustAddEdge("o2", "o3")
-	syn, err := pathdriver.Synthesize(a, pathdriver.SynthConfig{
+	syn, err := pathdriver.Synthesize(context.Background(), a, pathdriver.SynthConfig{
 		Devices: []pathdriver.DeviceSpec{{Kind: "mixer", Count: 2}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{})
+	res, err := pathdriver.OptimizeWash(context.Background(), syn.Schedule, pathdriver.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func ExampleVerifyClean() {
 	})
 	a.MustAddEdge("o1", "o2")
 	a.MustAddEdge("o2", "o3")
-	syn, err := pathdriver.Synthesize(a, pathdriver.SynthConfig{
+	syn, err := pathdriver.Synthesize(context.Background(), a, pathdriver.SynthConfig{
 		Devices: []pathdriver.DeviceSpec{{Kind: "mixer", Count: 2}},
 	})
 	if err != nil {

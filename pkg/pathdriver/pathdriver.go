@@ -2,19 +2,30 @@
 // wash optimization for continuous-flow lab-on-a-chip biochips
 // (Huang et al., DATE 2024).
 //
-// A typical flow:
+// The API is context-first: every entry point takes a context.Context,
+// and cancellation or Budget expiry degrades gracefully to the best
+// feasible incumbent instead of erroring. A typical flow:
 //
+//	ctx := context.Background()
 //	a := pathdriver.NewAssay("my-assay")
 //	a.MustAddOp(&pathdriver.Operation{ID: "o1", Kind: pathdriver.Mix,
 //	        Duration: 2, Output: "f1", Reagents: []pathdriver.FluidType{"r1", "r2"}})
 //	...
-//	syn, _ := pathdriver.Synthesize(a, pathdriver.SynthConfig{})
-//	res, _ := pathdriver.OptimizeWash(syn.Schedule, pathdriver.PDWOptions{})
+//	syn, _ := pathdriver.Synthesize(ctx, a, pathdriver.SynthConfig{})
+//	res, _ := pathdriver.OptimizeWash(ctx, syn.Schedule, pathdriver.Options{})
 //	fmt.Println(res.Schedule.Gantt())
+//
+// Or, as one canonical call — the shape the pdwd solve service speaks:
+//
+//	doc := pathdriver.NewAssayDocument(a, pathdriver.SynthConfig{})
+//	resp, _ := pathdriver.Solve(ctx, pathdriver.Request{Assay: doc,
+//	        Options: pathdriver.Options{Budget: pathdriver.Budget{Total: 2 * time.Second}}})
 //
 // Synthesize stands in for the PathDriver+ tool (chip architecture and
 // wash-free scheduling); OptimizeWash is the paper's contribution;
-// Baseline is the DAWO comparator used in the evaluation.
+// Baseline is the DAWO comparator used in the evaluation. The
+// pre-redesign names (SynthesizeContext, OptimizeWashContext, ...) live
+// on as deprecated wrappers in deprecated.go.
 package pathdriver
 
 import (
@@ -148,12 +159,8 @@ type (
 
 // Optimizer re-exports.
 type (
-	// PDWOptions tunes PathDriver-Wash.
-	PDWOptions = pdw.Options
 	// PDWResult is PathDriver-Wash's output.
 	PDWResult = pdw.Result
-	// DAWOOptions tunes the baseline.
-	DAWOOptions = dawo.Options
 	// DAWOResult is the baseline's output.
 	DAWOResult = dawo.Result
 	// Benchmark is one Table II workload.
@@ -167,63 +174,39 @@ func NewAssay(name string) *Assay { return assay.New(name) }
 func NewChip(name string, w, h int) *Chip { return grid.NewChip(name, w, h) }
 
 // Synthesize builds a chip architecture and a wash-free scheduling for
-// the assay (the inputs the wash optimizers consume).
-func Synthesize(a *Assay, cfg SynthConfig) (*SynthResult, error) {
-	return synth.Synthesize(a, cfg)
-}
-
-// SynthesizeContext is Synthesize under a context: a context that is
+// the assay (the inputs the wash optimizers consume). A context that is
 // already done aborts with ErrBudgetExceeded; synthesis otherwise runs
 // to completion (it is fast and has no usable partial result).
-func SynthesizeContext(ctx context.Context, a *Assay, cfg SynthConfig) (*SynthResult, error) {
+func Synthesize(ctx context.Context, a *Assay, cfg SynthConfig) (*SynthResult, error) {
 	return synth.SynthesizeContext(ctx, a, cfg)
 }
 
-// SynthesizeOnChip schedules the assay on a caller-provided chip.
-func SynthesizeOnChip(a *Assay, c *Chip) (*SynthResult, error) {
-	return synth.SynthesizeOnChip(a, c)
-}
-
-// SynthesizeOnChipContext is SynthesizeOnChip under a context, with the
-// same contract as SynthesizeContext.
-func SynthesizeOnChipContext(ctx context.Context, a *Assay, c *Chip) (*SynthResult, error) {
+// SynthesizeOnChip schedules the assay on a caller-provided chip, with
+// the same context contract as Synthesize.
+func SynthesizeOnChip(ctx context.Context, a *Assay, c *Chip) (*SynthResult, error) {
 	return synth.SynthesizeOnChipContext(ctx, a, c)
 }
 
 // OptimizeWash runs PathDriver-Wash on a wash-free schedule.
-func OptimizeWash(base *Schedule, opts PDWOptions) (*PDWResult, error) {
-	return pdw.Optimize(base, opts)
+// Cancellation (or expiry of opts.Budget.Total) degrades gracefully:
+// remaining exact searches fall back to their heuristic incumbents and
+// the result is still a valid contamination-free schedule, with
+// Stats.Canceled set — never an error.
+func OptimizeWash(ctx context.Context, base *Schedule, opts Options) (*PDWResult, error) {
+	return pdw.OptimizeContext(ctx, base, opts.pdwOptions())
 }
 
-// OptimizeWashContext is OptimizeWash under a context. Cancellation (or
-// expiry of opts.Budget.Total) degrades gracefully: remaining exact
-// searches fall back to their heuristic incumbents and the result is
-// still a valid contamination-free schedule, with Stats.Canceled set —
-// never an error.
-func OptimizeWashContext(ctx context.Context, base *Schedule, opts PDWOptions) (*PDWResult, error) {
-	return pdw.OptimizeContext(ctx, base, opts)
-}
-
-// Baseline runs the DAWO comparison baseline on a wash-free schedule.
-func Baseline(base *Schedule, opts DAWOOptions) (*DAWOResult, error) {
-	return dawo.Optimize(base, opts)
-}
-
-// BaselineContext is Baseline under a context, with the same graceful
-// degradation as OptimizeWashContext.
-func BaselineContext(ctx context.Context, base *Schedule, opts DAWOOptions) (*DAWOResult, error) {
-	return dawo.OptimizeContext(ctx, base, opts)
+// Baseline runs the DAWO comparison baseline on a wash-free schedule,
+// with the same graceful degradation as OptimizeWash.
+func Baseline(ctx context.Context, base *Schedule, opts Options) (*DAWOResult, error) {
+	return dawo.OptimizeContext(ctx, base, opts.dawoOptions())
 }
 
 // CompressBase re-times a wash-free schedule with the time-window
-// optimizer, giving the fair reference for delay measurements.
-func CompressBase(base *Schedule, limit time.Duration) (*Schedule, error) {
-	return pdw.CompressBase(base, limit)
-}
-
-// CompressBaseContext is CompressBase under a context; a canceled
-// context falls back to the greedy re-timing rather than erroring.
-func CompressBaseContext(ctx context.Context, base *Schedule, limit time.Duration) (*Schedule, error) {
+// optimizer, giving the fair reference for delay measurements; a
+// canceled context falls back to the greedy re-timing rather than
+// erroring.
+func CompressBase(ctx context.Context, base *Schedule, limit time.Duration) (*Schedule, error) {
 	return pdw.CompressBaseContext(ctx, base, limit)
 }
 

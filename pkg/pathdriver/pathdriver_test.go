@@ -1,6 +1,7 @@
 package pathdriver
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -18,14 +19,14 @@ func buildAssay(t *testing.T) *Assay {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	a := buildAssay(t)
-	syn, err := Synthesize(a, SynthConfig{
+	syn, err := Synthesize(context.Background(), a, SynthConfig{
 		Devices: []DeviceSpec{{Kind: "mixer", Count: 2}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := OptimizeWash(syn.Schedule, PDWOptions{
-		PathTimeLimit: time.Second, WindowTimeLimit: 2 * time.Second,
+	res, err := OptimizeWash(context.Background(), syn.Schedule, Options{
+		Budget: Budget{PerPath: time.Second, Window: 2 * time.Second},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -33,14 +34,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err := VerifyClean(res.Schedule); err != nil {
 		t.Fatal(err)
 	}
-	base, err := Baseline(syn.Schedule, DAWOOptions{})
+	base, err := Baseline(context.Background(), syn.Schedule, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyClean(base.Schedule); err != nil {
 		t.Fatal(err)
 	}
-	ref, err := CompressBase(syn.Schedule, time.Second)
+	ref, err := CompressBase(context.Background(), syn.Schedule, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestMotivatingExampleExposed(t *testing.T) {
 	if len(a.Ops()) != 7 || len(chip.Devices()) != 5 {
 		t.Fatal("motivating example shape wrong")
 	}
-	syn, err := SynthesizeOnChip(a, chip)
+	syn, err := SynthesizeOnChip(context.Background(), a, chip)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestCustomChipThroughAPI(t *testing.T) {
 	a := NewAssay("one")
 	a.MustAddOp(&Operation{ID: "o1", Kind: Mix, Duration: 2, Output: "f1",
 		Reagents: []FluidType{"r1"}})
-	syn, err := SynthesizeOnChip(a, c)
+	syn, err := SynthesizeOnChip(context.Background(), a, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCustomChipThroughAPI(t *testing.T) {
 
 func TestControlLayerThroughAPI(t *testing.T) {
 	a := buildAssay(t)
-	syn, err := Synthesize(a, SynthConfig{})
+	syn, err := Synthesize(context.Background(), a, SynthConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,10 @@
 # concurrency-bearing packages (the harness worker pool, the
 # context-cancellable MILP search, the observability layer, the
 # bench-diff report helpers read concurrently by tooling, the
-# corpus generator whose sweeps are sharded across processes, and the
+# corpus generator whose sweeps are sharded across processes, the
 # synthesis layer whose checkpointed scheduler aborts race deadline
-# expiry from the context's timer goroutine).
+# expiry from the context's timer goroutine, and the solve service's
+# admission/cache/coalescing machinery plus its scaled-down soak).
 #
 # The full (non-short) suite, including the complete Table II sweeps,
 # is `go test ./...` and takes many minutes on a small machine.
@@ -31,7 +32,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth"
-go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth ./internal/service"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth ./internal/service
 
 echo "All checks passed."
