@@ -16,7 +16,7 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/report ./internal/corpus ./internal/synth ./internal/service
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service
 
 # The solve server (see README "Running the service").
 pdwd:
@@ -25,9 +25,12 @@ pdwd:
 # Full service soak: >= 1000 concurrent mixed requests (cache-hot,
 # cold, budget-starved, hung-up clients, shed and coalesced solves)
 # through the real solver under the race detector, with every
-# response's schedule re-verified contamination-free.
+# response's schedule re-verified contamination-free, the flight
+# recorder asserted to retain every degraded/shed/hung-up outcome
+# class with unique request ids, and the trace-context round trip
+# proven end to end.
 soak:
-	go test -race -run 'TestServiceSoak|TestSoakShedVerified' -v -count=1 ./internal/service
+	go test -race -run 'TestServiceSoak|TestSoakShedVerified|TestRequestObservabilityEndToEnd' -v -count=1 ./internal/service
 
 # Bounded-overrun regression: on reagent-dense instances whose solves
 # once busted a 2 s deadline by 30+ s, every solver must return within

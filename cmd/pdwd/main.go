@@ -12,6 +12,14 @@
 // and sheds load to the cheap heuristic warm-start — flagged
 // "degraded": true — once the queue passes a watermark. See DESIGN.md
 // "Wire schema v1" for the request/response contract.
+//
+// Every request is observable end to end: pdwd accepts or mints a W3C
+// trace context, echoes `Traceparent` and `X-Request-Id` response
+// headers, logs structured JSON access lines (-log-level), and keeps a
+// tail-sampled flight recorder of completed requests on
+// /debug/requests, with per-request Chrome-trace exports on
+// /debug/requests/{id}/trace (DESIGN.md "Request observability
+// contract").
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/obs/reqlog"
 	"pathdriverwash/internal/service"
 )
 
@@ -45,18 +54,35 @@ func main() {
 		defBudget  = flag.Duration("default-budget", 30*time.Second, "budget applied to requests that carry none")
 		maxBudget  = flag.Duration("max-budget", 2*time.Minute, "upper clamp on requested budgets")
 		shedBudget = flag.Duration("shed-budget", 5*time.Second, "budget for shed heuristic solves")
+
+		logLevel = flag.String("log-level", "info", "structured JSON log level: debug|info|warn|error")
+		requests = flag.Int("requests", 512, "flight-recorder ring depth for /debug/requests (-1: disable)")
+		sample   = flag.Int("request-sample", 16, "keep 1 in N boring (ok/cached/coalesced) requests; errors, shed, canceled, overrun, and tail-latency requests are always kept")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
+	level, err := reqlog.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := reqlog.NewLogger(os.Stderr, level)
 
-	// One process, one registry: solver metrics (pdw_*) and service
-	// metrics (pdwd_*) share /metrics.
+	// One process, one registry: solver metrics (pdw_*), service
+	// metrics (pdwd_*), and the Go runtime gauges share /metrics.
 	obs.Enable()
+	var recorder *reqlog.Recorder
+	if *requests >= 0 {
+		recorder = reqlog.NewRecorder(reqlog.Config{Depth: *requests, SampleEvery: *sample})
+		defer recorder.Close()
+		// Mount /debug/requests before WithDebug snapshots the debug mux.
+		recorder.InstallDebug()
+	}
 	srv := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue, ShedWatermark: *shed, CacheSize: *cache,
 		DefaultBudget: *defBudget, MaxBudget: *maxBudget, ShedBudget: *shedBudget,
+		Logger: logger, Recorder: recorder,
 	})
 
 	httpSrv := &http.Server{
@@ -69,7 +95,9 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "pdwd: solve server on http://%s (POST /v1/solve; /healthz, /metrics, /debug/pprof)\n", *listen)
+		logger.Info("listening",
+			"addr", *listen,
+			"endpoints", "POST /v1/solve; /healthz, /metrics, /debug/pprof, /debug/requests")
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -79,10 +107,11 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Fprintln(os.Stderr, "pdwd: shutting down (waiting for in-flight solves)")
+	logger.Info("shutting down", "reason", "signal", "grace", "30s")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	logger.Info("stopped")
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull reports an admission rejection: every worker is busy and
@@ -50,14 +51,26 @@ func NewPool(workers, queueDepth int) *Pool {
 // receives ctx and honors cancellation through the solver layers'
 // checkpoints.
 func (p *Pool) Do(ctx context.Context, f func(context.Context)) error {
+	_, err := p.DoTimed(ctx, f)
+	return err
+}
+
+// DoTimed is Do plus queue-wait attribution: it additionally reports
+// how long the caller waited for a worker slot. The fast path (a slot
+// was free) reports zero without reading the clock; a canceled or
+// rejected wait reports the time spent waiting before failing. The
+// solve service feeds the wait into its per-request records and the
+// pdwd_queue_wait_seconds histogram.
+func (p *Pool) DoTimed(ctx context.Context, f func(context.Context)) (queueWait time.Duration, err error) {
 	select {
 	case p.workers <- struct{}{}:
 	default:
 		select {
 		case p.queue <- struct{}{}:
 		default:
-			return ErrQueueFull
+			return 0, ErrQueueFull
 		}
+		t0 := time.Now()
 		p.waiting.Add(1)
 		leave := func() {
 			p.waiting.Add(-1)
@@ -66,9 +79,10 @@ func (p *Pool) Do(ctx context.Context, f func(context.Context)) error {
 		select {
 		case p.workers <- struct{}{}:
 			leave()
+			queueWait = time.Since(t0)
 		case <-ctx.Done():
 			leave()
-			return ctx.Err()
+			return time.Since(t0), ctx.Err()
 		}
 	}
 	p.running.Add(1)
@@ -77,7 +91,7 @@ func (p *Pool) Do(ctx context.Context, f func(context.Context)) error {
 		<-p.workers
 	}()
 	f(ctx)
-	return nil
+	return queueWait, nil
 }
 
 // Depth is the number of requests currently waiting for a worker slot.

@@ -124,3 +124,51 @@ func TestPoolDefaults(t *testing.T) {
 		t.Fatalf("negative queue depth should clamp to 0, got %d", p.QueueCap())
 	}
 }
+
+func TestDoTimedQueueWait(t *testing.T) {
+	p := NewPool(1, 4)
+
+	// Fast path: a free worker slot reports zero wait.
+	wait, err := p.DoTimed(context.Background(), func(context.Context) {})
+	if err != nil || wait != 0 {
+		t.Fatalf("fast path: wait %v, err %v; want 0, nil", wait, err)
+	}
+
+	// Queued path: the wait covers the time spent behind the blocker.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+	waitc := make(chan time.Duration, 1)
+	go func() {
+		w, err := p.DoTimed(context.Background(), func(context.Context) {})
+		if err != nil {
+			t.Error(err)
+		}
+		waitc <- w
+	}()
+	waitFor(t, "request to queue", func() bool { return p.Depth() == 1 })
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if w := <-waitc; w < 20*time.Millisecond {
+		t.Fatalf("queued wait %v, want >= 20ms", w)
+	}
+
+	// Rejection path: a full queue reports zero wait with ErrQueueFull.
+	p2 := NewPool(1, 0)
+	release2 := make(chan struct{})
+	started2 := make(chan struct{})
+	go p2.Do(context.Background(), func(context.Context) {
+		close(started2)
+		<-release2
+	})
+	<-started2
+	wait, err = p2.DoTimed(context.Background(), func(context.Context) {})
+	if !errors.Is(err, ErrQueueFull) || wait != 0 {
+		t.Fatalf("rejection: wait %v, err %v; want 0, ErrQueueFull", wait, err)
+	}
+	close(release2)
+}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -23,14 +25,61 @@ func publishExpvar() {
 	})
 }
 
-// Handler returns the debug HTTP handler: Prometheus text at
-// /metrics, expvar JSON at /debug/vars, and the full net/http/pprof
-// suite at /debug/pprof/. A bare "/" serves a plain index of the
-// mounted endpoints.
+// debugExt holds extension handlers mounted into Handler's mux beside
+// the built-in endpoints. Packages that sit above obs (the request
+// flight recorder in internal/obs/reqlog) register here so every
+// binary's -listen surface picks them up without obs importing them.
+var debugExt struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler // mux pattern -> handler
+}
+
+// RegisterDebug mounts h at the given net/http mux pattern (e.g.
+// "GET /debug/requests") on every Handler built afterwards, returning
+// a function that unregisters it. Handlers already composed (an
+// earlier Handler/WithDebug call) are snapshots and do not see later
+// registrations. Registering a duplicate pattern replaces the earlier
+// handler.
+func RegisterDebug(pattern string, h http.Handler) (remove func()) {
+	debugExt.mu.Lock()
+	if debugExt.handlers == nil {
+		debugExt.handlers = map[string]http.Handler{}
+	}
+	debugExt.handlers[pattern] = h
+	debugExt.mu.Unlock()
+	return func() {
+		debugExt.mu.Lock()
+		delete(debugExt.handlers, pattern)
+		debugExt.mu.Unlock()
+	}
+}
+
+// collectRuntime refreshes the Go runtime gauges (goroutines, heap,
+// GC) in r. The /metrics handler calls it per scrape so the Prometheus
+// page always carries a current picture of the process itself, not
+// just the solver counters.
+func collectRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("go_heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go_next_gc_bytes").Set(int64(ms.NextGC))
+	r.Gauge("go_gc_cycles_total").Set(int64(ms.NumGC))
+	r.Gauge("go_gc_pause_ns_total").Set(int64(ms.PauseTotalNs))
+}
+
+// Handler returns the debug HTTP handler: Prometheus text at /metrics
+// (solver and service metrics plus Go runtime gauges), expvar JSON at
+// /debug/vars, the full net/http/pprof suite at /debug/pprof/, and any
+// extension endpoints added with RegisterDebug. A bare "/" serves a
+// plain index of the mounted endpoints.
 func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		collectRuntime(Default())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default().WritePrometheus(w)
 	})
@@ -40,15 +89,26 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugExt.mu.Lock()
+	patterns := make([]string, 0, len(debugExt.handlers))
+	for pattern, h := range debugExt.handlers {
+		mux.Handle(pattern, h)
+		patterns = append(patterns, pattern)
+	}
+	debugExt.mu.Unlock()
+	sort.Strings(patterns)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		fmt.Fprintln(w, "pdw debug endpoint")
-		fmt.Fprintln(w, "  /metrics      Prometheus text format")
+		fmt.Fprintln(w, "  /metrics      Prometheus text format (+ Go runtime gauges)")
 		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
 		fmt.Fprintln(w, "  /debug/pprof  pprof profiles")
+		for _, p := range patterns {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
 	})
 	return mux
 }

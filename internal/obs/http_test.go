@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("index status %d", code)
+	}
+	for _, want := range []string{"/metrics", "/debug/vars", "/debug/pprof"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index does not mention %s:\n%s", want, body)
+		}
+	}
+
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	Default().Counter("obs_http_test_counter").Inc()
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE") {
+		t.Fatal("/metrics is not Prometheus text format")
+	}
+	if !strings.Contains(body, "obs_http_test_counter") {
+		t.Fatal("/metrics missing registry counters")
+	}
+	// Runtime gauges are collected per scrape.
+	for _, g := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(body, g) {
+			t.Errorf("/metrics missing runtime gauge %s", g)
+		}
+	}
+}
+
+func TestHandlerExpvarAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "pdw_metrics") {
+		t.Fatalf("/debug/vars status %d, pdw_metrics present: %v", code, strings.Contains(body, "pdw_metrics"))
+	}
+	if code, _ := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestRegisterDebug(t *testing.T) {
+	remove := RegisterDebug("GET /debug/obs-test-ext", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ext-ok")
+	}))
+
+	srv := httptest.NewServer(Handler())
+	code, body := get(t, srv.URL+"/debug/obs-test-ext")
+	if code != http.StatusOK || body != "ext-ok" {
+		t.Fatalf("extension endpoint: status %d body %q", code, body)
+	}
+	if _, index := get(t, srv.URL+"/"); !strings.Contains(index, "/debug/obs-test-ext") {
+		t.Fatal("index does not list the extension endpoint")
+	}
+	srv.Close()
+
+	// Handlers built after removal must not carry the extension.
+	remove()
+	srv2 := httptest.NewServer(Handler())
+	defer srv2.Close()
+	if code, _ := get(t, srv2.URL+"/debug/obs-test-ext"); code != http.StatusNotFound {
+		t.Fatalf("removed extension still mounted: status %d", code)
+	}
+}
+
+func TestWithDebugRouting(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "app")
+	})
+	srv := httptest.NewServer(WithDebug(app))
+	defer srv.Close()
+
+	if _, body := get(t, srv.URL+"/v1/anything"); body != "app" {
+		t.Fatalf("app path served %q", body)
+	}
+	if code, body := get(t, srv.URL+"/metrics"); code != http.StatusOK || body == "app" {
+		t.Fatalf("/metrics not routed to debug handler (status %d)", code)
+	}
+	if _, body := get(t, srv.URL+"/"); !strings.Contains(body, "pdw debug endpoint") {
+		t.Fatalf("bare / served %q, want debug index", body)
+	}
+	if code, _ := get(t, srv.URL+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	// Empty addr: no-op, no server.
+	if bound, err := ServeDebug("test", ""); err != nil || bound != "" {
+		t.Fatalf("ServeDebug(\"\") = %q, %v", bound, err)
+	}
+
+	// Real addr: binds, serves, and enables the obs layer (restore it).
+	defer Disable()
+	bound, err := ServeDebug("test", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("ServeDebug did not enable the obs layer")
+	}
+	code, body := get(t, "http://"+bound+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "# TYPE") {
+		t.Fatalf("served /metrics: status %d", code)
+	}
+}

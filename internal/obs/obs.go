@@ -134,6 +134,24 @@ func FromContext(ctx context.Context) *Span {
 	return s
 }
 
+// ID returns the span's process-unique id (0 for nil spans).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Root returns the id of the span tree's root (0 for nil spans). A
+// request-scoped collector can key every span of one request by this:
+// spans started under the request's root context all share it.
+func (s *Span) Root() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.root
+}
+
 // SetAttr annotates the span. No-op on nil or ended spans.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {

@@ -1,0 +1,52 @@
+package reqlog
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkBeginEnd measures the recorder's own cost per request with
+// the obs span layer disabled — the identity mint, context plumb,
+// finalize, and sampling gate. The service-level number (recorder vs.
+// none around a whole solve) is BenchmarkFlightRecorderOverhead in
+// internal/service.
+func BenchmarkBeginEnd(b *testing.B) {
+	r := NewRecorder(Config{Depth: 256, SampleEvery: 16})
+	defer r.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for b.Loop() {
+		_, q := r.Begin(ctx, "")
+		q.End()
+	}
+}
+
+// BenchmarkBeginAnnotateEnd adds the annotation calls the service makes
+// on the solve path.
+func BenchmarkBeginAnnotateEnd(b *testing.B) {
+	r := NewRecorder(Config{Depth: 256, SampleEvery: 16})
+	defer r.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for b.Loop() {
+		c, q := r.Begin(ctx, "")
+		q.SetBudget(time.Second)
+		FromContext(c).SetSolve("pdw", 200, false, false, false, false, "", nil)
+		q.SetOutcome(OutcomeOK)
+		q.End()
+	}
+}
+
+// BenchmarkNilRecorder is the disabled path: every call must be a
+// cheap nil check.
+func BenchmarkNilRecorder(b *testing.B) {
+	var r *Recorder
+	ctx := context.Background()
+	b.ReportAllocs()
+	for b.Loop() {
+		c, q := r.Begin(ctx, "")
+		FromContext(c).SetOutcome(OutcomeOK)
+		q.End()
+	}
+}

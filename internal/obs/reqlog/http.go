@@ -1,0 +1,106 @@
+package reqlog
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"pathdriverwash/internal/obs"
+)
+
+// requestsPattern and tracePattern are the mux patterns the recorder's
+// debug surface mounts at (inside the shared obs debug handler, so
+// they appear on every -listen endpoint of a binary that installed a
+// recorder).
+const (
+	requestsPattern = "GET /debug/requests"
+	tracePattern    = "GET /debug/requests/{id}/trace"
+)
+
+// InstallDebug registers the recorder's endpoints on the shared obs
+// debug surface (obs.Handler / obs.WithDebug / -listen). It returns a
+// function that unregisters them; call it before installing another
+// recorder (tests).
+func (r *Recorder) InstallDebug() (remove func()) {
+	r1 := obs.RegisterDebug(requestsPattern, http.HandlerFunc(r.handleRequests))
+	r2 := obs.RegisterDebug(tracePattern, http.HandlerFunc(r.handleTrace))
+	return func() { r1(); r2() }
+}
+
+// Handler returns the recorder's debug surface on its own mux:
+//
+//	GET /debug/requests            recent ring, newest first
+//	    ?outcome=degraded          filter by outcome class
+//	    ?limit=50                  cap the listing
+//	GET /debug/requests/{id}/trace Chrome trace-event export of one
+//	                               request (loadable in Perfetto)
+//
+// Listings omit the span trees (span_count tells what the trace
+// endpoint will export).
+func (r *Recorder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(requestsPattern, r.handleRequests)
+	mux.HandleFunc(tracePattern, r.handleTrace)
+	return mux
+}
+
+func (r *Recorder) handleRequests(w http.ResponseWriter, req *http.Request) {
+	outcome := Outcome(req.URL.Query().Get("outcome"))
+	limit := 0
+	if s := req.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "reqlog: bad limit "+strconv.Quote(s), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+
+	recs := r.Records()
+	out := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if outcome != "" && rec.Outcome != outcome {
+			continue
+		}
+		rec.Spans = nil // listings stay light; the trace endpoint exports spans
+		out = append(out, rec)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"depth":    r.Cap(),
+		"kept":     r.Len(),
+		"total":    r.Total(),
+		"requests": out,
+	})
+}
+
+func (r *Recorder) handleTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	rec, ok := r.Find(id)
+	if !ok {
+		http.Error(w, "reqlog: no retained record for request "+strconv.Quote(id), http.StatusNotFound)
+		return
+	}
+	spans := rec.Spans
+	if len(spans) == 0 {
+		// Obs was disabled (or the cap was 0) while this request ran;
+		// synthesize the one span the record itself proves, so the
+		// export still loads as a valid trace.
+		spans = []obs.SpanData{{
+			Name: "request", ID: 1, Root: 1,
+			Start: rec.Start, Duration: rec.Wall,
+			Attrs: []obs.Attr{
+				{Key: "request_id", Value: rec.ID},
+				{Key: "outcome", Value: string(rec.Outcome)},
+			},
+		}}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
+}

@@ -1,0 +1,33 @@
+package reqlog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a leveled JSON slog logger writing to w — the
+// structured logger behind pdwd's -log-level flag. JSON because the
+// access log is meant for machines first (one object per line, stable
+// keys); humans get the same fields pretty-printed by any log viewer.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLevel maps a -log-level flag value onto a slog level:
+// debug | info | warn | error.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("reqlog: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}

@@ -1,0 +1,500 @@
+package reqlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pathdriverwash/internal/obs"
+)
+
+// mkRecord pushes one synthetic completed record through the sampling
+// gate (white-box: observe is the post-End path).
+func mkRecord(r *Recorder, id string, outcome Outcome, wall time.Duration) {
+	r.observe(Record{
+		ID: id, TraceID: "t-" + id, Start: time.Now(),
+		Wall: wall, Outcome: outcome, Code: 200,
+	})
+}
+
+func TestBeginEndRecordsRequest(t *testing.T) {
+	r := NewRecorder(Config{Depth: 8, SampleEvery: 1})
+	defer r.Close()
+
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	ctx, q := r.Begin(context.Background(), tp)
+	if FromContext(ctx) != q {
+		t.Fatal("context does not carry the request")
+	}
+	if q.ID() == "" {
+		t.Fatal("no request id assigned")
+	}
+	if got := q.Trace().TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("incoming trace id not continued: %q", got)
+	}
+	if q.Trace().String() == tp {
+		t.Fatal("server must substitute its own span id")
+	}
+
+	q.SetBudget(2 * time.Second)
+	q.SetQueueWait(5 * time.Millisecond)
+	q.SetSolve("pdw", 200, false, true, false, false, "", []Phase{{Name: "synthesis", Wall: time.Millisecond}})
+	q.SetOutcome(OutcomeCached)
+	q.End()
+	q.End() // idempotent
+
+	if got := r.Len(); got != 1 {
+		t.Fatalf("ring holds %d records, want 1", got)
+	}
+	rec, ok := r.Find(q.ID())
+	if !ok {
+		t.Fatal("record not findable by id")
+	}
+	if rec.Outcome != OutcomeCached || !rec.Cached || rec.Method != "pdw" {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.Budget != 2*time.Second || rec.QueueWait != 5*time.Millisecond {
+		t.Fatalf("budget/queue wait not recorded: %+v", rec)
+	}
+	if len(rec.Phases) != 1 || rec.Phases[0].Name != "synthesis" {
+		t.Fatalf("phases %+v", rec.Phases)
+	}
+	if rec.Keep != "sampled" {
+		t.Fatalf("keep reason %q, want sampled (SampleEvery=1)", rec.Keep)
+	}
+
+	// Annotations after End must not alter the stored record.
+	q.SetOutcome(OutcomeError)
+	if rec2, _ := r.Find(q.ID()); rec2.Outcome != OutcomeCached {
+		t.Fatal("post-End annotation mutated the record")
+	}
+}
+
+func TestBeginWithoutTraceparentMintsTrace(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1})
+	defer r.Close()
+	_, q := r.Begin(context.Background(), "")
+	defer q.End()
+	if !q.Trace().Valid() {
+		t.Fatalf("minted trace invalid: %v", q.Trace())
+	}
+	_, q2 := r.Begin(context.Background(), "garbage-header")
+	defer q2.End()
+	if !q2.Trace().Valid() || q2.Trace().TraceID == q.Trace().TraceID {
+		t.Fatal("garbage traceparent must mint a fresh valid trace")
+	}
+}
+
+func TestTailSamplingAlwaysKeepsBadOutcomes(t *testing.T) {
+	r := NewRecorder(Config{Depth: 1024, SampleEvery: 1 << 30})
+	defer r.Close()
+
+	// Strictly decreasing walls keep every boring record under the p95
+	// tail threshold (which trails the older, larger walls).
+	for i := range 500 {
+		mkRecord(r, fmt.Sprintf("ok-%d", i), OutcomeOK, time.Duration(1000-i)*time.Microsecond)
+	}
+	for i, o := range []Outcome{OutcomeDegraded, OutcomeCanceled, OutcomeRejected, OutcomeError, OutcomeOverrun} {
+		mkRecord(r, fmt.Sprintf("bad-%d", i), o, time.Microsecond)
+	}
+
+	kept := r.Records()
+	outcomes := map[Outcome]int{}
+	for _, rec := range kept {
+		outcomes[rec.Outcome]++
+		if rec.Outcome.boring() {
+			t.Fatalf("boring record %s kept despite effectively-infinite SampleEvery (keep=%s)", rec.ID, rec.Keep)
+		}
+		if rec.Keep != "outcome" {
+			t.Fatalf("record %s keep=%q, want outcome", rec.ID, rec.Keep)
+		}
+	}
+	for _, o := range []Outcome{OutcomeDegraded, OutcomeCanceled, OutcomeRejected, OutcomeError, OutcomeOverrun} {
+		if outcomes[o] != 1 {
+			t.Fatalf("outcome %s kept %d times, want 1 (kept: %v)", o, outcomes[o], outcomes)
+		}
+	}
+	if got := r.Total(); got != 505 {
+		t.Fatalf("total %d, want 505", got)
+	}
+}
+
+func TestTailSamplingKeepsSlowRequests(t *testing.T) {
+	r := NewRecorder(Config{Depth: 1024, SampleEvery: 1 << 30})
+	defer r.Close()
+
+	// Fill the latency reservoir with fast boring traffic, then send one
+	// slow boring request: it must be retained as tail latency.
+	for i := range latWindow {
+		mkRecord(r, fmt.Sprintf("fast-%d", i), OutcomeOK, time.Millisecond)
+	}
+	mkRecord(r, "slow", OutcomeOK, 500*time.Millisecond)
+
+	rec, ok := r.Find("slow")
+	if !ok {
+		t.Fatal("slow request was sampled away")
+	}
+	if rec.Keep != "latency" {
+		t.Fatalf("keep=%q, want latency", rec.Keep)
+	}
+}
+
+func TestBoringSampledOneInN(t *testing.T) {
+	r := NewRecorder(Config{Depth: 1024, SampleEvery: 10})
+	defer r.Close()
+	// Strictly decreasing walls: every record stays under the trailing
+	// p95 threshold, so retention is decided by the 1-in-N gate alone.
+	for i := range 400 {
+		mkRecord(r, fmt.Sprintf("b-%d", i), OutcomeCached, time.Duration(1000-i)*time.Microsecond)
+	}
+	sampled, other := 0, 0
+	for _, rec := range r.Records() {
+		if rec.Keep == "sampled" {
+			sampled++
+		} else {
+			other++
+		}
+	}
+	if sampled != 40 || other != 0 {
+		t.Fatalf("kept %d sampled + %d other of 400 boring requests, want exactly 40 + 0", sampled, other)
+	}
+}
+
+func TestRingEvictsOldestFirst(t *testing.T) {
+	r := NewRecorder(Config{Depth: 4, SampleEvery: 1})
+	defer r.Close()
+	for i := range 10 {
+		mkRecord(r, fmt.Sprintf("r-%d", i), OutcomeError, time.Millisecond)
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		want := fmt.Sprintf("r-%d", 9-i)
+		if rec.ID != want {
+			t.Fatalf("records[%d] = %s, want %s (newest first)", i, rec.ID, want)
+		}
+	}
+	if _, ok := r.Find("r-0"); ok {
+		t.Fatal("evicted record still findable")
+	}
+}
+
+func TestSpanCapture(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	r := NewRecorder(Config{SampleEvery: 1, MaxSpans: 8})
+	defer r.Close()
+
+	ctx, q := r.Begin(context.Background(), "")
+	_, child := obs.Start(ctx, "phase.window-milp")
+	child.End()
+	// A span from unrelated work must not leak into this request.
+	_, stray := obs.Start(context.Background(), "stray")
+	stray.End()
+	q.End()
+
+	rec, ok := r.Find(q.ID())
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if rec.SpanCount != 2 || len(rec.Spans) != 2 {
+		t.Fatalf("captured %d spans (count %d), want 2 (child + root)", len(rec.Spans), rec.SpanCount)
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+	}
+	if !names["phase.window-milp"] || !names["request"] {
+		t.Fatalf("span names %v", names)
+	}
+	if names["stray"] {
+		t.Fatal("unrelated span leaked into the request record")
+	}
+}
+
+func TestSpanCaptureCapped(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	r := NewRecorder(Config{SampleEvery: 1, MaxSpans: 4})
+	defer r.Close()
+	ctx, q := r.Begin(context.Background(), "")
+	for range 20 {
+		_, sp := obs.Start(ctx, "tiny")
+		sp.End()
+	}
+	q.End()
+	rec, _ := r.Find(q.ID())
+	if len(rec.Spans) != 4 || rec.SpanCount != 21 {
+		t.Fatalf("spans %d (count %d), want cap 4 of 21", len(rec.Spans), rec.SpanCount)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, q := r.Begin(context.Background(), "")
+	if q != nil {
+		t.Fatal("nil recorder began a request")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil request leaked into context")
+	}
+	q.SetHTTP("GET", "/x", 200)
+	q.SetOutcome(OutcomeOK)
+	q.SetBudget(time.Second)
+	q.SetQueueWait(time.Second)
+	q.SetSolve("pdw", 200, false, false, false, false, "", nil)
+	q.End()
+	if q.ID() != "" || q.Outcome() != "" || q.Trace().Valid() {
+		t.Fatal("nil request accessors not zero")
+	}
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 || r.Records() != nil {
+		t.Fatal("nil recorder accessors not zero")
+	}
+	if _, ok := r.Find("x"); ok {
+		t.Fatal("nil recorder found a record")
+	}
+	r.Close()
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	r := NewRecorder(Config{Depth: 4096, SampleEvery: 1})
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				ctx, q := r.Begin(context.Background(), "")
+				_, sp := obs.Start(ctx, "inner")
+				sp.End()
+				if i%3 == 0 {
+					q.SetOutcome(OutcomeDegraded)
+				}
+				q.SetSolve("pdw", 200, i%3 == 0, false, false, false, "", nil)
+				_ = w
+				q.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != workers*per {
+		t.Fatalf("total %d, want %d", got, workers*per)
+	}
+	if got := r.Len(); got != workers*per {
+		t.Fatalf("kept %d, want %d (SampleEvery=1, depth ample)", got, workers*per)
+	}
+	ids := map[string]bool{}
+	for _, rec := range r.Records() {
+		if ids[rec.ID] {
+			t.Fatalf("duplicate request id %s", rec.ID)
+		}
+		ids[rec.ID] = true
+	}
+}
+
+func TestRequestsEndpoint(t *testing.T) {
+	r := NewRecorder(Config{Depth: 64, SampleEvery: 1})
+	defer r.Close()
+	for i := range 6 {
+		o := OutcomeOK
+		if i%2 == 0 {
+			o = OutcomeDegraded
+		}
+		mkRecord(r, fmt.Sprintf("q-%d", i), o, time.Millisecond)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var body struct {
+		Depth    int      `json:"depth"`
+		Kept     int      `json:"kept"`
+		Total    uint64   `json:"total"`
+		Requests []Record `json:"requests"`
+	}
+	get := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", url, resp.StatusCode)
+		}
+		body.Requests = nil
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get(srv.URL + "/debug/requests")
+	if body.Depth != 64 || body.Kept != 6 || body.Total != 6 || len(body.Requests) != 6 {
+		t.Fatalf("listing %+v", body)
+	}
+	if body.Requests[0].ID != "q-5" {
+		t.Fatalf("listing not newest first: %s", body.Requests[0].ID)
+	}
+	for _, rec := range body.Requests {
+		if rec.Spans != nil {
+			t.Fatal("listing must omit span trees")
+		}
+	}
+
+	get(srv.URL + "/debug/requests?outcome=degraded&limit=2")
+	if len(body.Requests) != 2 {
+		t.Fatalf("filtered listing has %d, want 2", len(body.Requests))
+	}
+	for _, rec := range body.Requests {
+		if rec.Outcome != OutcomeDegraded {
+			t.Fatalf("filter leaked outcome %s", rec.Outcome)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/requests?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	r := NewRecorder(Config{SampleEvery: 1})
+	defer r.Close()
+
+	ctx, q := r.Begin(context.Background(), "")
+	_, sp := obs.Start(ctx, "phase.verify")
+	sp.End()
+	q.End()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/requests/" + q.ID() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace export is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace export")
+	}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %v missing %q", ev, key)
+			}
+		}
+	}
+
+	// Unknown ids 404.
+	resp404, err := http.Get(srv.URL + "/debug/requests/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp404.StatusCode)
+	}
+}
+
+func TestTraceEndpointSynthesizesWithoutSpans(t *testing.T) {
+	// obs disabled: no spans captured; the export must still be a valid
+	// non-empty Chrome trace.
+	r := NewRecorder(Config{SampleEvery: 1})
+	defer r.Close()
+	_, q := r.Begin(context.Background(), "")
+	q.SetOutcome(OutcomeError)
+	q.End()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/requests/" + q.ID() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("span-less record exported an empty trace")
+	}
+}
+
+func TestInstallDebug(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1})
+	defer r.Close()
+	remove := r.InstallDebug()
+	defer remove()
+	mkRecord(r, "via-obs", OutcomeError, time.Millisecond)
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("obs-mounted /debug/requests: status %d", resp.StatusCode)
+	}
+}
+
+func TestParseLevelAndLogger(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "warn": "WARN", "warning": "WARN", "error": "ERROR", "": "INFO",
+	} {
+		lvl, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lvl.String() != want {
+			t.Fatalf("ParseLevel(%q) = %s, want %s", in, lvl, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn)
+	log.Info("hidden")
+	log.Warn("visible", "request_id", "abc123")
+	out := buf.String()
+	if out == "" {
+		t.Fatal("no log output")
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(out), &line); err != nil {
+		t.Fatalf("log line is not JSON: %q", out)
+	}
+	if line["msg"] != "visible" || line["request_id"] != "abc123" {
+		t.Fatalf("log line %v", line)
+	}
+}

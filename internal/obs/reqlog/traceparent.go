@@ -1,0 +1,111 @@
+package reqlog
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceContext is the W3C Trace Context identity of one request: the
+// 16-byte trace id shared by every hop of a distributed operation, the
+// 8-byte span id of this hop, and the trace flags (bit 0: sampled).
+// pdwd accepts it on the `traceparent` request header, substitutes its
+// own span id, and echoes the result on the response, so a caller's
+// tracing system can stitch the solve into its own trace.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// ParseTraceparent parses a version-00 W3C traceparent header value,
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". All-zero
+// trace or parent ids are invalid per the spec.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) != 55 {
+		return tc, fmt.Errorf("reqlog: traceparent length %d, want 55", len(s))
+	}
+	if s[0:2] != "00" {
+		return tc, fmt.Errorf("reqlog: unsupported traceparent version %q", s[0:2])
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("reqlog: malformed traceparent %q", s)
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("reqlog: bad trace-id in %q: %w", s, err)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("reqlog: bad parent-id in %q: %w", s, err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, fmt.Errorf("reqlog: bad flags in %q: %w", s, err)
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("reqlog: all-zero ids in traceparent %q", s)
+	}
+	return tc, nil
+}
+
+// Valid reports whether both ids are non-zero, as the spec requires.
+func (t TraceContext) Valid() bool {
+	return t.TraceID != [16]byte{} && t.SpanID != [8]byte{}
+}
+
+// String renders the context as a version-00 traceparent header value.
+func (t TraceContext) String() string {
+	return fmt.Sprintf("00-%s-%s-%02x",
+		hex.EncodeToString(t.TraceID[:]), hex.EncodeToString(t.SpanID[:]), t.Flags)
+}
+
+// TraceIDString is the 32-hex-char trace id alone, the form log lines
+// and records carry.
+func (t TraceContext) TraceIDString() string {
+	return hex.EncodeToString(t.TraceID[:])
+}
+
+// NewTraceContext returns a fresh random trace identity with the
+// sampled flag set (pdwd records everything it keeps, so advertising
+// sampled matches reality).
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	mustRand(tc.TraceID[:])
+	mustRand(tc.SpanID[:])
+	tc.Flags = 0x01
+	return tc
+}
+
+// Child keeps the trace id and flags but substitutes a fresh span id —
+// the identity this server contributes to an incoming trace.
+func (t TraceContext) Child() TraceContext {
+	c := t
+	mustRand(c.SpanID[:])
+	return c
+}
+
+// newRequestID returns a 16-hex-char random request id. 64 random bits
+// make collisions negligible at any realistic retention depth.
+func newRequestID() string {
+	var b [8]byte
+	mustRand(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// mustRand fills b from crypto/rand, retrying an all-zero fill (both
+// id kinds treat zero as invalid). crypto/rand.Read does not fail on
+// any supported platform; a hard failure panics rather than silently
+// issuing colliding identities.
+func mustRand(b []byte) {
+	for {
+		if _, err := rand.Read(b); err != nil {
+			panic(fmt.Sprintf("reqlog: crypto/rand failed: %v", err))
+		}
+		for _, x := range b {
+			if x != 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package reqlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const in = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.String(); got != in {
+		t.Fatalf("round trip: %q != %q", got, in)
+	}
+	if got := tc.TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id %q", got)
+	}
+	if tc.Flags != 0x01 {
+		t.Fatalf("flags %02x", tc.Flags)
+	}
+	if !tc.Valid() {
+		t.Fatal("parsed context reports invalid")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"short":         "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"long":          "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"version":       "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"dashes":        "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+		"hex trace":     "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		"hex parent":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01",
+		"hex flags":     "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+		"zero trace id": "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":  "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestNewTraceContextUniqueAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for range 200 {
+		tc := NewTraceContext()
+		if !tc.Valid() {
+			t.Fatalf("invalid fresh context %v", tc)
+		}
+		s := tc.String()
+		if seen[s] {
+			t.Fatalf("duplicate trace context %s", s)
+		}
+		seen[s] = true
+		if !strings.HasPrefix(s, "00-") || len(s) != 55 {
+			t.Fatalf("malformed rendering %q", s)
+		}
+	}
+}
+
+func TestChildKeepsTraceID(t *testing.T) {
+	parent := NewTraceContext()
+	child := parent.Child()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child changed the trace id")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child kept the parent span id")
+	}
+	if child.Flags != parent.Flags {
+		t.Fatal("child changed the flags")
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for range 1000 {
+		id := newRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}

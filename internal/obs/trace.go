@@ -58,7 +58,14 @@ type chromeEvent struct {
 // named after the root span, so parallel benchmark runs display as
 // parallel tracks.
 func (t *TraceBuffer) WriteChromeTrace(w io.Writer) error {
-	spans := t.Spans()
+	return WriteChromeTrace(w, t.Spans())
+}
+
+// WriteChromeTrace renders an arbitrary span set as a Chrome
+// trace-event JSON array (always an array, even when spans is empty, so
+// the output loads in Perfetto unconditionally). The per-request trace
+// export in internal/obs/reqlog uses it on a single request's spans.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
 	var t0 time.Time
 	for _, s := range spans {
 		if t0.IsZero() || s.Start.Before(t0) {
@@ -90,6 +97,9 @@ func (t *TraceBuffer) WriteChromeTrace(w io.Writer) error {
 				PID: 1, TID: s.Root, Scope: "t", Args: attrArgs(e.Attrs),
 			})
 		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)

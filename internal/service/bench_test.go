@@ -1,0 +1,41 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"pathdriverwash/internal/obs/reqlog"
+	"pathdriverwash/pkg/pathdriver"
+)
+
+// BenchmarkFlightRecorderOverhead compares the service solve path with
+// the flight recorder absent ("off") and recording every request
+// ("on"). The solver itself is stubbed out so the numbers isolate the
+// service + recorder overhead; the "off" sub-benchmark is the disabled
+// path the <2% observability cost contract (DESIGN.md) covers. Cache
+// and shedding are disabled so every iteration walks the full
+// admission path.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	run := func(b *testing.B, rec *reqlog.Recorder) {
+		s := newTestServer(Config{CacheSize: -1, ShedWatermark: -1, Recorder: rec})
+		s.solveFn = func(ctx context.Context, req pathdriver.Request) (*pathdriver.Response, error) {
+			return stubResponse(req.Method), nil
+		}
+		req := motivatingReq(b, "", pathdriver.Options{})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for b.Loop() {
+			if _, err := s.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		rec := reqlog.NewRecorder(reqlog.Config{Depth: 512, SampleEvery: 1})
+		defer rec.Close()
+		run(b, rec)
+	})
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/obs/reqlog"
+	"pathdriverwash/pkg/pathdriver"
+)
+
+// syncWriter is a goroutine-safe buffer for capturing concurrent log
+// output.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(b)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestRequestObservabilityEndToEnd is the acceptance test for the
+// request observability layer: concurrent requests sent with a
+// traceparent header get the same trace ID back (with a server-minted
+// span id), appear in /debug/requests, and their per-request trace
+// export validates as Chrome trace events.
+func TestRequestObservabilityEndToEnd(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	rec := reqlog.NewRecorder(reqlog.Config{Depth: 4096, SampleEvery: 1})
+	defer rec.Close()
+	removeDebug := rec.InstallDebug()
+	defer removeDebug()
+
+	var logBuf syncWriter
+	s := newTestServer(Config{
+		Recorder: rec,
+		Logger:   reqlog.NewLogger(&logBuf, 0),
+	})
+	s.solveFn = func(ctx context.Context, req pathdriver.Request) (*pathdriver.Response, error) {
+		return stubResponse(req.Method), nil
+	}
+	// InstallDebug ran before WithDebug snapshots the debug mux, same
+	// order as cmd/pdwd.
+	srv := httptest.NewServer(obs.WithDebug(s.Handler()))
+	defer srv.Close()
+
+	const n = 32
+	var (
+		mu  sync.Mutex
+		ids = map[string]string{} // request id -> sent trace id
+	)
+	var wg sync.WaitGroup
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sentTrace := fmt.Sprintf("%032x", i+1)
+			body, err := json.Marshal(uniqueReq(t, i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/solve", strings.NewReader(string(body)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("traceparent", "00-"+sentTrace+"-0000000000000001-01")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+
+			// Trace continuation: same trace id, server-minted span id.
+			echoed := resp.Header.Get("Traceparent")
+			parts := strings.Split(echoed, "-")
+			if len(parts) != 4 || parts[1] != sentTrace {
+				t.Errorf("traceparent %q does not continue trace %s", echoed, sentTrace)
+				return
+			}
+			if parts[2] == "0000000000000001" {
+				t.Errorf("traceparent %q kept the client span id", echoed)
+			}
+			id := resp.Header.Get("X-Request-Id")
+			if id == "" {
+				t.Error("no X-Request-Id header")
+				return
+			}
+			mu.Lock()
+			if prev, dup := ids[id]; dup {
+				t.Errorf("request id %s reused (traces %s and %s)", id, prev, sentTrace)
+			}
+			ids[id] = sentTrace
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every request is retained (SampleEvery 1) and listed with its
+	// trace id.
+	resp, err := http.Get(srv.URL + "/debug/requests?limit=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Requests []struct {
+			ID      string `json:"id"`
+			TraceID string `json:"trace_id"`
+			Outcome string `json:"outcome"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]string{}
+	for _, r := range listing.Requests {
+		listed[r.ID] = r.TraceID
+	}
+	for id, sentTrace := range ids {
+		gotTrace, ok := listed[id]
+		if !ok {
+			t.Fatalf("request %s missing from /debug/requests", id)
+		}
+		if gotTrace != sentTrace {
+			t.Fatalf("request %s recorded trace %s, want %s", id, gotTrace, sentTrace)
+		}
+	}
+
+	// One request's span tree exports as Chrome trace events.
+	for id := range ids {
+		tr, err := http.Get(srv.URL + "/debug/requests/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []map[string]any
+		err = json.NewDecoder(tr.Body).Decode(&events)
+		tr.Body.Close()
+		if err != nil {
+			t.Fatalf("trace export for %s is not a JSON array: %v", id, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("trace export for %s is empty", id)
+		}
+		for _, ev := range events {
+			for _, key := range []string{"name", "ph", "ts", "pid"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("trace event %v missing %q", ev, key)
+				}
+			}
+		}
+		break
+	}
+
+	// The access log emitted one JSON line per request carrying the id.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	requestLines := 0
+	for _, line := range lines {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		if entry["msg"] != "request" || entry["path"] != "/v1/solve" {
+			continue
+		}
+		requestLines++
+		id, _ := entry["request_id"].(string)
+		if _, ok := ids[id]; !ok {
+			t.Fatalf("access log line carries unknown request id %q: %s", id, line)
+		}
+	}
+	if requestLines != n {
+		t.Fatalf("%d access log lines, want %d", requestLines, n)
+	}
+}
+
+func TestHealthzBuildAndRecorder(t *testing.T) {
+	rec := reqlog.NewRecorder(reqlog.Config{Depth: 64, SampleEvery: 1})
+	defer rec.Close()
+	s := newTestServer(Config{Recorder: rec})
+	s.solveFn = func(ctx context.Context, req pathdriver.Request) (*pathdriver.Response, error) {
+		return stubResponse(req.Method), nil
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if _, err := s.Solve(context.Background(), motivatingReq(t, "", pathdriver.Options{})); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+		Build  struct {
+			Go     string `json:"go"`
+			Module string `json:"module"`
+		} `json:"build"`
+		Requests struct {
+			Depth int    `json:"depth"`
+			Kept  int    `json:"kept"`
+			Total uint64 `json:"total"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Fatalf("status %q", body.Status)
+	}
+	if body.Build.Go == "" || body.Build.Module == "" {
+		t.Fatalf("healthz missing build info: %+v", body.Build)
+	}
+	if body.Requests.Depth != 64 {
+		t.Fatalf("recorder depth %d, want 64", body.Requests.Depth)
+	}
+	// The direct Solve above was recorded (owned request) and the
+	// /healthz request itself finishes after the snapshot, so total is
+	// at least 1.
+	if body.Requests.Total < 1 || body.Requests.Kept < 1 {
+		t.Fatalf("recorder counters %+v, want >= 1", body.Requests)
+	}
+}
+
+func TestWriteErrorClientGone(t *testing.T) {
+	s := newTestServer(Config{})
+	w := httptest.NewRecorder()
+	s.writeError(w, 499, errors.New("client gone"))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (499 is not a real status)", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("remapped 499 must invite a retry")
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != "client gone" {
+		t.Fatalf("error %q", out.Error)
+	}
+}
+
+func TestWriteJSONEncodeFailureCounted(t *testing.T) {
+	s := newTestServer(Config{})
+	if got := s.mEncodeFail.Value(); got != 0 {
+		t.Fatalf("fresh server encode failures %d", got)
+	}
+	w := httptest.NewRecorder()
+	s.writeJSON(w, http.StatusOK, map[string]any{"bad": func() {}})
+	if got := s.mEncodeFail.Value(); got != 1 {
+		t.Fatalf("encode failures %d, want 1", got)
+	}
+}

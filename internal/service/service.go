@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"time"
 
 	"pathdriverwash/internal/harness"
 	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/obs/reqlog"
 	"pathdriverwash/internal/schedule"
 	"pathdriverwash/internal/scheduleio"
 	"pathdriverwash/internal/solve"
@@ -42,6 +44,13 @@ type Config struct {
 	ShedBudget time.Duration
 	// Metrics receives the pdwd_* metrics (nil: obs.Default()).
 	Metrics *obs.Registry
+	// Logger receives structured access and lifecycle logs (nil: no
+	// logging).
+	Logger *slog.Logger
+	// Recorder is the per-request flight recorder (nil: request
+	// recording disabled; the request-identity middleware then costs
+	// nothing).
+	Recorder *reqlog.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -84,9 +93,11 @@ type Result struct {
 // pool, the incumbent cache with single-flight coalescing, and load
 // shedding to the heuristic warm-start.
 type Server struct {
-	cfg   Config
-	pool  *harness.Pool
-	cache *lruCache // nil when disabled
+	cfg      Config
+	pool     *harness.Pool
+	cache    *lruCache // nil when disabled
+	log      *slog.Logger
+	recorder *reqlog.Recorder
 
 	// solveFn runs one admitted solve; tests swap it for a stub to
 	// pin admission and coalescing behavior deterministically.
@@ -100,15 +111,19 @@ type Server struct {
 	mShed       *obs.Counter
 	mRejected   *obs.Counter
 	mSolveSec   *obs.Histogram
+	mQueueWait  *obs.Histogram
+	mEncodeFail *obs.Counter
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    harness.NewPool(cfg.Workers, cfg.QueueDepth),
-		solveFn: pathdriver.Solve,
+		cfg:      cfg,
+		pool:     harness.NewPool(cfg.Workers, cfg.QueueDepth),
+		log:      cfg.Logger,
+		recorder: cfg.Recorder,
+		solveFn:  pathdriver.Solve,
 
 		mQueueDepth: cfg.Metrics.Gauge("pdwd_queue_depth"),
 		mInflight:   cfg.Metrics.Gauge("pdwd_inflight"),
@@ -118,6 +133,8 @@ func New(cfg Config) *Server {
 		mShed:       cfg.Metrics.Counter("pdwd_shed_total"),
 		mRejected:   cfg.Metrics.Counter("pdwd_rejected_total"),
 		mSolveSec:   cfg.Metrics.Histogram("pdwd_solve_seconds", nil),
+		mQueueWait:  cfg.Metrics.Histogram("pdwd_queue_wait_seconds", nil),
+		mEncodeFail: cfg.Metrics.Counter("pdwd_response_encode_failures_total"),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
@@ -164,8 +181,18 @@ func (s *Server) clampBudget(req *SolveRequest) *SolveRequest {
 // identical in-flight solve, shed to the heuristic warm-start when the
 // queue is past the watermark, or admitted to the worker pool. The
 // returned error maps to HTTP with CodeFor.
+//
+// When a flight recorder is configured and the context does not
+// already carry a request (the HTTP middleware begins one per
+// connection), Solve begins and ends its own, so in-process callers —
+// the soak test, future CLIs — are recorded too.
 func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*Result, error) {
 	start := time.Now()
+	q := reqlog.FromContext(ctx)
+	owned := q == nil && s.recorder != nil
+	if owned {
+		ctx, q = s.recorder.Begin(ctx, "")
+	}
 	res, err := s.solve(ctx, req)
 	code := CodeFor(err)
 	s.cfg.Metrics.Counter("pdwd_requests_total", "code", strconv.Itoa(code)).Inc()
@@ -174,7 +201,71 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*Result, error) 
 	}
 	obs.RecordSpan(ctx, "pdwd.request", start, time.Since(start),
 		obs.A("method", string(req.Method)), obs.A("code", code))
+	annotateSolve(q, req, res, err, code)
+	if owned {
+		q.End()
+	}
+	if s.log != nil {
+		s.log.LogAttrs(ctx, slog.LevelDebug, "solve",
+			slog.String("method", string(req.Method)),
+			slog.Int("code", code),
+			slog.Duration("wall", time.Since(start)),
+			slog.String("request_id", q.ID()))
+	}
 	return res, err
+}
+
+// annotateSolve stamps the solve-layer summary onto the request
+// record: outcome class, service flags, failure text, and the phase
+// timeline. Nil-safe via the reqlog methods.
+func annotateSolve(q *reqlog.Request, req *SolveRequest, res *Result, err error, code int) {
+	if q == nil {
+		return
+	}
+	var (
+		degraded, cached, coalesced, canceled bool
+		errText                               string
+		phases                                []reqlog.Phase
+	)
+	if err != nil {
+		errText = err.Error()
+	} else if res != nil && res.Resp != nil {
+		degraded = res.Resp.Degraded
+		cached = res.Resp.Cached
+		coalesced = res.Resp.Coalesced
+		canceled = res.Resp.Canceled
+		for _, p := range res.Resp.Stats.PhaseList() {
+			phases = append(phases, reqlog.Phase{Name: p.Name, Wall: p.Wall})
+		}
+	}
+	q.SetSolve(string(req.Method), code, degraded, cached, coalesced, canceled, errText, phases)
+	q.SetOutcome(outcomeFor(res, err))
+}
+
+// outcomeFor maps a solve result onto its flight-recorder outcome
+// class (the always-retained classes are exactly the non-boring ones;
+// see reqlog's tail-sampling contract).
+func outcomeFor(res *Result, err error) reqlog.Outcome {
+	switch {
+	case errors.Is(err, harness.ErrQueueFull):
+		return reqlog.OutcomeRejected
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return reqlog.OutcomeCanceled
+	case errors.Is(err, solve.ErrBudgetExceeded):
+		return reqlog.OutcomeOverrun
+	case err != nil:
+		return reqlog.OutcomeError
+	case res.Resp.Degraded:
+		return reqlog.OutcomeDegraded
+	case res.Resp.Canceled:
+		return reqlog.OutcomeOverrun
+	case res.Resp.Cached:
+		return reqlog.OutcomeCached
+	case res.Resp.Coalesced:
+		return reqlog.OutcomeCoalesced
+	default:
+		return reqlog.OutcomeOK
+	}
 }
 
 func (s *Server) solve(ctx context.Context, req *SolveRequest) (*Result, error) {
@@ -182,6 +273,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*Result, error) 
 		return nil, err
 	}
 	req = s.clampBudget(req)
+	reqlog.FromContext(ctx).SetBudget(req.Options.Budget.Total)
 	s.mQueueDepth.Set(int64(s.pool.Depth()))
 
 	if s.cache == nil {
@@ -228,10 +320,16 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*Result, error) 
 func (s *Server) runLeader(ctx context.Context, req *SolveRequest) *outcome {
 	if s.cfg.ShedWatermark > 0 && s.pool.Depth() >= s.cfg.ShedWatermark {
 		s.mShed.Inc()
+		if s.log != nil {
+			s.log.LogAttrs(ctx, slog.LevelWarn, "shed",
+				slog.Int("queue_depth", s.pool.Depth()),
+				slog.Int("watermark", s.cfg.ShedWatermark),
+				slog.String("request_id", reqlog.FromContext(ctx).ID()))
+		}
 		return s.shedSolve(ctx, req)
 	}
 	var out *outcome
-	err := s.pool.Do(ctx, func(ctx context.Context) {
+	wait, err := s.pool.DoTimed(ctx, func(ctx context.Context) {
 		s.mInflight.Set(int64(s.pool.Running()))
 		start := time.Now()
 		resp, err := s.solveFn(ctx, req.request())
@@ -242,6 +340,13 @@ func (s *Server) runLeader(ctx context.Context, req *SolveRequest) *outcome {
 		}
 		out = &outcome{resp: buildResponse(resp), sched: resp.Schedule}
 	})
+	s.mQueueWait.Observe(wait.Seconds())
+	if wait > 0 {
+		// Attribute the admission wait to the request that paid it (a
+		// detached leader annotating after its originating record closed
+		// is a harmless no-op).
+		reqlog.FromContext(ctx).SetQueueWait(wait)
+	}
 	if err != nil {
 		return &outcome{err: err}
 	}

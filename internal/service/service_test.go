@@ -41,7 +41,7 @@ func stubResponse(method pathdriver.Method) *pathdriver.Response {
 }
 
 // motivatingReq wraps the paper's running example as a wire request.
-func motivatingReq(t *testing.T, method pathdriver.Method, opts pathdriver.Options) *SolveRequest {
+func motivatingReq(t testing.TB, method pathdriver.Method, opts pathdriver.Options) *SolveRequest {
 	t.Helper()
 	a, _, err := pathdriver.MotivatingExample()
 	if err != nil {
@@ -55,7 +55,7 @@ func motivatingReq(t *testing.T, method pathdriver.Method, opts pathdriver.Optio
 }
 
 // uniqueReq returns a request whose cache key differs per call.
-func uniqueReq(t *testing.T, n int) *SolveRequest {
+func uniqueReq(t testing.TB, n int) *SolveRequest {
 	t.Helper()
 	r := motivatingReq(t, "", pathdriver.Options{})
 	r.Options.Weights.Alpha = 0.001 * float64(n+1)

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/obs/reqlog"
 	"pathdriverwash/internal/solve"
 	"pathdriverwash/pkg/pathdriver"
 )
@@ -33,14 +35,23 @@ func TestServiceSoak(t *testing.T) {
 		n, clients = 100, 32
 	}
 
+	// The flight recorder rides along at production-like settings: deep
+	// enough that nothing interesting is evicted during the storm,
+	// sampling boring traffic 1-in-4.
+	rec := reqlog.NewRecorder(reqlog.Config{Depth: 8192, SampleEvery: 4})
+	defer rec.Close()
+	removeDebug := rec.InstallDebug()
+	defer removeDebug()
+
 	s := newTestServer(Config{
 		QueueDepth:    32,
 		CacheSize:     64,
 		DefaultBudget: 5 * time.Second,
 		MaxBudget:     10 * time.Second,
 		ShedBudget:    2 * time.Second,
+		Recorder:      rec,
 	})
-	srv := httptest.NewServer(s.Handler())
+	srv := httptest.NewServer(obs.WithDebug(s.Handler()))
 	defer srv.Close()
 	bg := context.Background()
 
@@ -155,10 +166,15 @@ func TestServiceSoak(t *testing.T) {
 				ctx, cancel := context.WithCancel(bg)
 				cancel()
 				res, err := s.Solve(ctx, hot[i%len(hot)])
-				if err == nil && res.Resp.Cached {
+				switch {
+				case err == nil && res.Resp.Cached:
 					record("canceled-hit")
-				} else {
+				case errors.Is(err, context.Canceled):
 					record("canceled")
+				case err != nil && !acceptable(err):
+					t.Errorf("canceled client: %v", err)
+				default:
+					record("canceled-other")
 				}
 			case i%97 == 77: // concurrent identical cold key: coalesces
 				res, err := s.Solve(bg, burst)
@@ -206,10 +222,53 @@ func TestServiceSoak(t *testing.T) {
 		t.Fatal("final repeat of a warmed request must be served from cache")
 	}
 
+	// Flight recorder: every request was observed, /debug/requests
+	// retains every interesting outcome class the storm produced, and
+	// request ids never collide.
+	if got := rec.Total(); got < uint64(n) {
+		t.Fatalf("flight recorder observed %d requests, want >= %d", got, n)
+	}
+	resp, err := http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Kept     int `json:"kept"`
+		Requests []struct {
+			ID      string `json:"id"`
+			Outcome string `json:"outcome"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	outcomes := map[string]int{}
+	seenIDs := map[string]bool{}
+	for _, r := range listing.Requests {
+		outcomes[r.Outcome]++
+		if seenIDs[r.ID] {
+			t.Errorf("request id %s appears twice in /debug/requests", r.ID)
+		}
+		seenIDs[r.ID] = true
+	}
+	// Interesting classes are always retained, so "it happened" must
+	// imply "it is in the ring".
+	if counts["degraded"] > 0 && outcomes["degraded"] == 0 {
+		t.Errorf("%d shed responses but no degraded record retained", counts["degraded"])
+	}
+	if counts["canceled"] > 0 && outcomes["canceled"] == 0 {
+		t.Errorf("%d hung-up clients but no canceled record retained", counts["canceled"])
+	}
+	if s.mRejected.Value() > 0 && outcomes["rejected"] == 0 {
+		t.Errorf("%d admission rejections but no rejected record retained", s.mRejected.Value())
+	}
+
 	queued, running, cached := s.Stats()
-	t.Logf("soak n=%d: %v; hits=%d misses=%d coalesced=%d shed=%d rejected=%d; end state queued=%d running=%d cached=%d",
+	t.Logf("soak n=%d: %v; hits=%d misses=%d coalesced=%d shed=%d rejected=%d; recorder total=%d kept=%d outcomes=%v; end state queued=%d running=%d cached=%d",
 		n, sortedCounts(counts), s.mHits.Value(), s.mMisses.Value(),
-		s.mCoalesced.Value(), s.mShed.Value(), s.mRejected.Value(), queued, running, cached)
+		s.mCoalesced.Value(), s.mShed.Value(), s.mRejected.Value(),
+		rec.Total(), listing.Kept, sortedCounts(outcomes), queued, running, cached)
 }
 
 func sortedCounts(m map[string]int) string {

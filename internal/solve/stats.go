@@ -110,6 +110,18 @@ func (s *Stats) StartPhaseContext(ctx context.Context, name string) (context.Con
 	}
 }
 
+// PhaseList returns a copy of the recorded phases in execution order.
+// The solve service snapshots it into the flight recorder's per-request
+// records (internal/obs/reqlog), which must not alias the live slice.
+func (s *Stats) PhaseList() []PhaseStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]PhaseStat(nil), s.Phases...)
+}
+
 // PhaseSeconds sums the recorded phase wall times by name, in seconds.
 // It returns nil when no phases were recorded, so callers can embed the
 // map directly into omitempty JSON fields (the bench-file per-phase

@@ -44,6 +44,13 @@ esac
 echo "==> pdwbench -quick -baseline $out -json $out2 (perf gate)"
 go run ./cmd/pdwbench -quick -baseline "$out" -json "$out2" -wall-threshold 9 >/dev/null
 
+# Flight-recorder cost check: the service hot path with the recorder
+# off and on, so a recorder cost regression surfaces here before it
+# surfaces in production latency (DESIGN.md "Request observability
+# contract").
+echo "==> go test -bench BenchmarkFlightRecorderOverhead ./internal/service"
+go test -run '^$' -bench BenchmarkFlightRecorderOverhead -benchtime 1000x ./internal/service
+
 # Sharded-corpus smoke: the same seeded corpus swept unsharded and as
 # two merged shards must produce quality-identical artifacts. Wall
 # times differ run to run, so the equivalence diff is -quality.
