@@ -1,4 +1,4 @@
-.PHONY: build vet test test-full race overrun check pdwd soak bench bench-smoke bench-diff corpus-oracle fuzz
+.PHONY: build vet test test-full race overrun check pdwd soak bench bench-smoke bench-diff corpus-oracle fuzz profiles-smoke
 
 build:
 	go build ./...
@@ -16,7 +16,7 @@ test-full:
 
 # Race-detector pass over the concurrency-bearing packages.
 race:
-	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service
+	go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/prof ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service
 
 # The solve server (see README "Running the service").
 pdwd:
@@ -39,9 +39,17 @@ soak:
 overrun:
 	go test -race -run TestDeadlineOverrunBounded -v ./internal/corpus
 
-# The verification gate: build + gofmt + vet + fast tests + race pass.
+# The verification gate: build + gofmt + vet + fast tests + race pass,
+# then the live anomaly-profiling smoke against a real pdwd.
 check:
 	./scripts/check.sh
+	./scripts/profiles_smoke.sh
+
+# End-to-end smoke for anomaly-triggered profiling: start pdwd, force a
+# budget-overrun solve, and follow the /debug/requests record's
+# profile_id to a valid gzipped pprof CPU capture on /debug/profiles.
+profiles-smoke:
+	./scripts/profiles_smoke.sh
 
 # Paper evaluation artifacts (Table II, Fig. 4, Fig. 5) plus the
 # machine-readable sweep result. COUNT > 1 repeats each benchmark,

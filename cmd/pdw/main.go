@@ -112,6 +112,12 @@ func main() {
 	}
 
 	ctx := context.Background()
+	// With -listen, the run is visible on /debug/solves while it lasts:
+	// attach a live progress view and register it under the assay name.
+	prog := solve.NewProgress()
+	ctx = solve.WithProgress(ctx, prog)
+	unregister := obs.RegisterSolve("", "cli", *method+":"+a.Name, prog.Snapshot)
+	defer unregister()
 	var out *schedule.Schedule
 	switch *method {
 	case "pdw":

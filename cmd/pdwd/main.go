@@ -19,7 +19,11 @@
 // tail-sampled flight recorder of completed requests on
 // /debug/requests, with per-request Chrome-trace exports on
 // /debug/requests/{id}/trace (DESIGN.md "Request observability
-// contract").
+// contract"). In-flight solves stream live progress on /debug/solves
+// (list, snapshot, SSE watch), and anomalous requests — budget
+// overruns, shed load, tail latency — trip a bounded ring of pprof
+// captures served on /debug/profiles and linked from the request
+// record's profile_id (-profiles, -profile-cpu, -profile-cooldown).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"pathdriverwash/internal/obs"
+	"pathdriverwash/internal/obs/prof"
 	"pathdriverwash/internal/obs/reqlog"
 	"pathdriverwash/internal/service"
 )
@@ -58,6 +64,10 @@ func main() {
 		logLevel = flag.String("log-level", "info", "structured JSON log level: debug|info|warn|error")
 		requests = flag.Int("requests", 512, "flight-recorder ring depth for /debug/requests (-1: disable)")
 		sample   = flag.Int("request-sample", 16, "keep 1 in N boring (ok/cached/coalesced) requests; errors, shed, canceled, overrun, and tail-latency requests are always kept")
+
+		profiles    = flag.Int("profiles", 16, "anomaly-triggered profile ring depth for /debug/profiles (-1: disable)")
+		profileCPU  = flag.Duration("profile-cpu", time.Second, "CPU capture window per triggered profile")
+		profileCool = flag.Duration("profile-cooldown", 30*time.Second, "minimum gap between triggered profiles")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -72,9 +82,17 @@ func main() {
 	// One process, one registry: solver metrics (pdw_*), service
 	// metrics (pdwd_*), and the Go runtime gauges share /metrics.
 	obs.Enable()
+	// Anomalous requests (overrun, shed, tail latency) trip a pprof
+	// capture; the bundles live on /debug/profiles and the triggering
+	// record on /debug/requests carries the matching profile_id.
+	var trigger *prof.Engine
+	if *profiles >= 0 {
+		trigger = prof.New(prof.Config{Depth: *profiles, CPUDuration: *profileCPU, Cooldown: *profileCool})
+		trigger.InstallDebug()
+	}
 	var recorder *reqlog.Recorder
 	if *requests >= 0 {
-		recorder = reqlog.NewRecorder(reqlog.Config{Depth: *requests, SampleEvery: *sample})
+		recorder = reqlog.NewRecorder(reqlog.Config{Depth: *requests, SampleEvery: *sample, Trigger: trigger})
 		defer recorder.Close()
 		// Mount /debug/requests before WithDebug snapshots the debug mux.
 		recorder.InstallDebug()
@@ -86,9 +104,15 @@ func main() {
 	})
 
 	httpSrv := &http.Server{
-		Addr:              *listen,
 		Handler:           obs.WithDebug(srv.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Listen before serving so the log line carries the actual bound
+	// address (":0" resolves to a real port scripts can parse).
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,9 +120,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening",
-			"addr", *listen,
-			"endpoints", "POST /v1/solve; /healthz, /metrics, /debug/pprof, /debug/requests")
-		errc <- httpSrv.ListenAndServe()
+			"addr", ln.Addr().String(),
+			"endpoints", "POST /v1/solve; /healthz, /metrics, /debug/pprof, /debug/requests, /debug/solves, /debug/profiles")
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {

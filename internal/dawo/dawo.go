@@ -95,6 +95,10 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 	ctx, span := obs.Start(ctx, "dawo.optimize", obs.A("tasks", len(base.Tasks())))
 	defer span.End()
 	stats := &solve.Stats{}
+	// Mirror phase transitions and cancellation into the live progress
+	// view when the root caller attached one to the context.
+	prog := solve.ProgressFromContext(ctx)
+	stats.BindProgress(prog)
 	cp := solve.NewCheckpoint(ctx)
 	ctx, endFix := stats.StartPhaseContext(ctx, "wash-insertion")
 
@@ -105,6 +109,9 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dawo: %w after %d rounds", solve.ErrBudgetExceeded, round-1)
 		}
+		// DAWO solves no ILPs; the fixpoint round is its unit of live
+		// progress (one label store per round, rounds are few).
+		prog.SetModel(fmt.Sprintf("bfs round %d", round))
 		an, err := analyzeRound(ctx, &cp, cur)
 		if err != nil {
 			return nil, err

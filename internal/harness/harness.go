@@ -18,6 +18,7 @@ import (
 	"pathdriverwash/internal/pdw"
 	"pathdriverwash/internal/report"
 	"pathdriverwash/internal/schedule"
+	"pathdriverwash/internal/solve"
 )
 
 // Worker-pool telemetry handles. The busy gauge tracks how many pool
@@ -83,6 +84,12 @@ func RunBenchmarkContext(ctx context.Context, b *benchmarks.Benchmark, opts Opti
 	// trace of a harness run shows one track per benchmark whose root
 	// span covers the run wall-to-wall.
 	ctx, span := obs.Start(ctx, "benchmark", obs.A("name", b.Name))
+	// The run also appears on /debug/solves for its duration, so a sweep
+	// driven from pdwbench -listen shows one live row per benchmark.
+	prog := solve.NewProgress()
+	ctx = solve.WithProgress(ctx, prog)
+	unregister := obs.RegisterSolve("", "benchmark", b.Name, prog.Snapshot)
+	defer unregister()
 	defer func() {
 		if obs.Enabled() {
 			benchRunsTotal.Inc()

@@ -211,11 +211,13 @@ func SolveContext(ctx context.Context, p *Problem) (Result, error) {
 		return Result{Status: Optimal, X: x, Obj: obj}, nil
 	}
 	t.check = solve.NewCheckpoint(ctx)
+	t.prog = solve.ProgressFromContext(ctx)
 	var t0 time.Time
 	if obs.Enabled() {
 		t0 = time.Now()
 	}
 	res, err := t.solveTwoPhase()
+	t.flushProgress()
 	if obs.Enabled() {
 		lpSolvesTotal.Inc()
 		lpPivotsTotal.Add(int64(t.iters - t.flushed))
@@ -285,6 +287,22 @@ type tableau struct {
 	iters   int
 	flushed int              // pivots already flushed to the obs counter
 	check   solve.Checkpoint // optional cancellation, polled every ctxCheckEvery pivots
+
+	// prog is the optional live progress view resolved once from the
+	// context at SolveContext; progFlushed tracks the pivots already
+	// published into it at the same ctxCheckEvery cadence as flushed.
+	prog        *solve.Progress
+	progFlushed int
+}
+
+// flushProgress publishes the pivots accumulated since the last flush
+// into the live progress view. One nil check when no view is attached;
+// called only at the ctxCheckEvery cadence and at solve exit.
+func (t *tableau) flushProgress() {
+	if t.prog != nil && t.iters > t.progFlushed {
+		t.prog.AddPivots(int64(t.iters - t.progFlushed))
+		t.progFlushed = t.iters
+	}
 }
 
 // ctxCheckEvery is the pivot interval between cancellation checks: small
@@ -581,6 +599,7 @@ func (t *tableau) optimize(cost []float64, ncols int) (Status, error) {
 				lpPivotsTotal.Add(int64(t.iters - t.flushed))
 				t.flushed = t.iters
 			}
+			t.flushProgress()
 			if err := t.check.Err(); err != nil {
 				return 0, err
 			}

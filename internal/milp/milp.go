@@ -258,6 +258,13 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 		}
 	}
 
+	// prog is the optional live progress view of the root solve; each
+	// publication below is one atomic op on a path that already paid
+	// for an LP solve (per node) or a trajectory append (per
+	// incumbent), so the instrumented cost is noise and the detached
+	// cost one nil check.
+	prog := solve.ProgressFromContext(ctx)
+
 	var haveInc bool
 	var incX []float64
 	var trajectory []solve.Incumbent
@@ -268,6 +275,7 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 		trajectory = append(trajectory, solve.Incumbent{
 			Obj: obj, Node: nodes, Elapsed: time.Since(start),
 		})
+		prog.Incumbent(obj)
 		if obs.Enabled() {
 			bbIncumbentsTotal.Inc()
 			span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes))
@@ -320,8 +328,12 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 			break
 		}
 		n := heap.Pop(queue).(*node)
+		// Best-first pop order makes n.bound the best lower bound over
+		// all open subproblems: exactly the live "bound" of the solve.
+		prog.SetBound(n.bound)
 		if haveInc && n.bound >= incObj-1e-9 {
 			pruned++
+			prog.AddPruned(1)
 			if obs.Enabled() {
 				bbPrunedTotal.Inc()
 			}
@@ -338,6 +350,7 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 			return Result{}, err
 		}
 		nodes++
+		prog.AddNodes(1)
 		if obs.Enabled() {
 			bbNodesTotal.Inc()
 			bbQueueDepth.Set(int64(queue.Len()))
@@ -361,6 +374,7 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 		}
 		if haveInc && res.Obj >= incObj-1e-9 {
 			pruned++
+			prog.AddPruned(1)
 			if obs.Enabled() {
 				bbPrunedTotal.Inc()
 			}
@@ -399,6 +413,9 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (res Result, er
 			bestBound = n.bound
 		}
 	}
+	// Publish the final bound so a proven optimum shows gap 0 on
+	// /debug/solves for the remainder of the root solve.
+	prog.SetBound(bestBound)
 	out := Result{
 		Nodes: nodes, Pruned: pruned, SimplexIters: simplexIters,
 		Incumbents: trajectory, Wall: time.Since(start),

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +55,31 @@ func RegisterDebug(pattern string, h http.Handler) (remove func()) {
 	}
 }
 
+var buildInfoOnce sync.Once
+
+// publishBuildInfo exports the pdwd_build_info gauge (constant 1 with
+// version/revision labels from debug.ReadBuildInfo) into the default
+// registry, once per process, so Prometheus scrapes can correlate perf
+// changes with deploys. Values the build info does not carry (a
+// non-module build, no VCS stamping) degrade to "unknown" so the
+// series always exists.
+func publishBuildInfo(r *Registry) {
+	buildInfoOnce.Do(func() {
+		version, revision := "unknown", "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			if bi.Main.Version != "" {
+				version = bi.Main.Version
+			}
+			for _, kv := range bi.Settings {
+				if kv.Key == "vcs.revision" && kv.Value != "" {
+					revision = kv.Value
+				}
+			}
+		}
+		r.Gauge("pdwd_build_info", "version", version, "revision", revision).Set(1)
+	})
+}
+
 // collectRuntime refreshes the Go runtime gauges (goroutines, heap,
 // GC) in r. The /metrics handler calls it per scrape so the Prometheus
 // page always carries a current picture of the process itself, not
@@ -79,6 +105,7 @@ func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		publishBuildInfo(Default())
 		collectRuntime(Default())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default().WritePrometheus(w)
@@ -89,6 +116,9 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/solves", handleSolves)
+	mux.HandleFunc("GET /debug/solves/{id}", handleSolve)
+	mux.HandleFunc("GET /debug/solves/{id}/watch", handleSolveWatch)
 	debugExt.mu.Lock()
 	patterns := make([]string, 0, len(debugExt.handlers))
 	for pattern, h := range debugExt.handlers {
@@ -106,6 +136,7 @@ func Handler() http.Handler {
 		fmt.Fprintln(w, "  /metrics      Prometheus text format (+ Go runtime gauges)")
 		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
 		fmt.Fprintln(w, "  /debug/pprof  pprof profiles")
+		fmt.Fprintln(w, "  /debug/solves in-flight solves (live progress; append /{id} or /{id}/watch for SSE)")
 		for _, p := range patterns {
 			fmt.Fprintf(w, "  %s\n", p)
 		}

@@ -1,0 +1,104 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"pathdriverwash/internal/obs"
+)
+
+// Mux patterns of the profile ring's debug surface.
+const (
+	profilesPattern = "GET /debug/profiles"
+	profilePattern  = "GET /debug/profiles/{id}"
+)
+
+// InstallDebug registers the profile endpoints on the shared obs debug
+// surface (obs.Handler / obs.WithDebug / -listen), returning the
+// function that unregisters them.
+func (e *Engine) InstallDebug() (remove func()) {
+	r1 := obs.RegisterDebug(profilesPattern, http.HandlerFunc(e.handleProfiles))
+	r2 := obs.RegisterDebug(profilePattern, http.HandlerFunc(e.handleProfile))
+	return func() { r1(); r2() }
+}
+
+// Handler returns the engine's debug surface on its own mux:
+//
+//	GET /debug/profiles           capture ring metadata, newest first
+//	GET /debug/profiles/{id}      pprof bytes (?kind=cpu|goroutine|heap,
+//	                              default cpu) — `go tool pprof` loads
+//	                              the response directly
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(profilesPattern, e.handleProfiles)
+	mux.HandleFunc(profilePattern, e.handleProfile)
+	return mux
+}
+
+// profileView is the listing shape: the metadata plus byte sizes
+// instead of the profiles themselves.
+type profileView struct {
+	Capture
+	CPUBytes       int `json:"cpu_bytes"`
+	GoroutineBytes int `json:"goroutine_bytes"`
+	HeapBytes      int `json:"heap_bytes"`
+}
+
+func (e *Engine) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	caps := e.Captures()
+	views := make([]profileView, 0, len(caps))
+	for _, c := range caps {
+		views = append(views, profileView{
+			Capture:  c,
+			CPUBytes: len(c.CPU), GoroutineBytes: len(c.Goroutine), HeapBytes: len(c.Heap),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"count": len(views), "profiles": views})
+}
+
+func (e *Engine) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := e.Get(id)
+	if !ok {
+		http.Error(w, "prof: no capture "+strconv.Quote(id), http.StatusNotFound)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "cpu"
+	}
+	var b []byte
+	switch kind {
+	case "cpu":
+		b = c.CPU
+	case "goroutine":
+		b = c.Goroutine
+	case "heap":
+		b = c.Heap
+	default:
+		http.Error(w, "prof: bad kind "+strconv.Quote(kind)+" (want cpu, goroutine, or heap)", http.StatusBadRequest)
+		return
+	}
+	if !c.Done {
+		// The trigger armed but the CPU window is still open; the id is
+		// valid, the bytes just are not final yet.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "prof: capture "+strconv.Quote(id)+" still in progress", http.StatusAccepted)
+		return
+	}
+	if len(b) == 0 {
+		msg := "prof: capture " + strconv.Quote(id) + " has no " + kind + " profile"
+		if c.Err != "" {
+			msg += ": " + c.Err
+		}
+		http.Error(w, msg, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+id+"-"+kind+`.pb.gz"`)
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,229 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitDone polls until the capture with the given id completes.
+func waitDone(t *testing.T, e *Engine, id string) Capture {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, ok := e.Get(id); ok && c.Done {
+			return *c
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("capture %s never completed", id)
+	return Capture{}
+}
+
+// checkGzippedProfile asserts b is a non-empty gzipped pprof payload:
+// the gzip magic, and a non-empty decompressed protobuf body.
+func checkGzippedProfile(t *testing.T, kind string, b []byte) {
+	t.Helper()
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("%s profile is not gzipped (%d bytes)", kind, len(b))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("%s profile gzip: %v", kind, err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("%s profile decompress: %v", kind, err)
+	}
+	if len(raw) == 0 {
+		t.Fatalf("%s profile decompressed to nothing", kind)
+	}
+}
+
+func TestTripCapturesProfileBundle(t *testing.T) {
+	e := New(Config{CPUDuration: 50 * time.Millisecond, Cooldown: -1})
+	id, ok := e.Trip("overrun", "req-abc")
+	if !ok || id == "" {
+		t.Fatalf("Trip = %q, %v", id, ok)
+	}
+
+	// The pending bundle is immediately resolvable.
+	c, found := e.Get(id)
+	if !found {
+		t.Fatal("pending capture not in ring")
+	}
+	if c.Reason != "overrun" || c.RequestID != "req-abc" || c.Duration != 50*time.Millisecond {
+		t.Fatalf("capture metadata: %+v", c)
+	}
+
+	done := waitDone(t, e, id)
+	if done.Err != "" {
+		t.Fatalf("capture error: %s", done.Err)
+	}
+	checkGzippedProfile(t, "cpu", done.CPU)
+	checkGzippedProfile(t, "goroutine", done.Goroutine)
+	checkGzippedProfile(t, "heap", done.Heap)
+}
+
+func TestTripSuppression(t *testing.T) {
+	e := New(Config{CPUDuration: 80 * time.Millisecond, Cooldown: time.Hour})
+	id, ok := e.Trip("latency", "r1")
+	if !ok {
+		t.Fatal("first trip suppressed")
+	}
+	// Armed: a concurrent trip is suppressed.
+	if _, ok := e.Trip("latency", "r2"); ok {
+		t.Fatal("trip while armed not suppressed")
+	}
+	waitDone(t, e, id)
+	// Cooldown: still suppressed after completion.
+	if _, ok := e.Trip("shed", "r3"); ok {
+		t.Fatal("trip within cooldown not suppressed")
+	}
+}
+
+func TestTripCooldownExpires(t *testing.T) {
+	e := New(Config{CPUDuration: 20 * time.Millisecond, Cooldown: 30 * time.Millisecond})
+	id, ok := e.Trip("overrun", "r1")
+	if !ok {
+		t.Fatal("first trip suppressed")
+	}
+	waitDone(t, e, id)
+	time.Sleep(40 * time.Millisecond)
+	id2, ok := e.Trip("overrun", "r2")
+	if !ok {
+		t.Fatal("trip after cooldown suppressed")
+	}
+	if id2 == id {
+		t.Fatalf("capture ids collide: %s", id2)
+	}
+	waitDone(t, e, id2)
+}
+
+func TestRingEviction(t *testing.T) {
+	e := New(Config{CPUDuration: time.Millisecond, Cooldown: -1, Depth: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, ok := e.Trip("overrun", "")
+		if !ok {
+			t.Fatalf("trip %d suppressed", i)
+		}
+		waitDone(t, e, id)
+		ids = append(ids, id)
+	}
+	if _, ok := e.Get(ids[0]); ok {
+		t.Fatal("oldest capture not evicted from depth-2 ring")
+	}
+	caps := e.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("ring holds %d captures, want 2", len(caps))
+	}
+	// Newest first.
+	if caps[0].ID != ids[2] || caps[1].ID != ids[1] {
+		t.Fatalf("ring order: %s, %s", caps[0].ID, caps[1].ID)
+	}
+}
+
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	if id, ok := e.Trip("overrun", "r"); ok || id != "" {
+		t.Fatal("nil engine armed a capture")
+	}
+	if _, ok := e.Get("x"); ok {
+		t.Fatal("nil engine returned a capture")
+	}
+	if e.Captures() != nil {
+		t.Fatal("nil engine returned captures")
+	}
+}
+
+func TestProfileHTTP(t *testing.T) {
+	e := New(Config{CPUDuration: 30 * time.Millisecond, Cooldown: -1})
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, http.Header, []byte) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, b
+	}
+
+	// Empty ring: a valid, empty listing.
+	code, _, body := get("/debug/profiles")
+	if code != http.StatusOK || !strings.Contains(string(body), `"count": 0`) {
+		t.Fatalf("empty listing: status %d body %s", code, body)
+	}
+
+	if code, _, _ := get("/debug/profiles/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown id status %d", code)
+	}
+
+	id, _ := e.Trip("overrun", "req-1")
+	waitDone(t, e, id)
+
+	if code, _, _ := get("/debug/profiles/" + id + "?kind=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad kind status %d", code)
+	}
+
+	code, hdr, body := get("/debug/profiles/" + id) // default kind=cpu
+	if code != http.StatusOK {
+		t.Fatalf("profile fetch status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	checkGzippedProfile(t, "cpu", body)
+	for _, kind := range []string{"goroutine", "heap"} {
+		code, _, b := get("/debug/profiles/" + id + "?kind=" + kind)
+		if code != http.StatusOK {
+			t.Fatalf("%s fetch status %d", kind, code)
+		}
+		checkGzippedProfile(t, kind, b)
+	}
+
+	// The listing carries metadata and byte sizes, not profile bytes.
+	code, _, body = get("/debug/profiles")
+	if code != http.StatusOK {
+		t.Fatalf("listing status %d", code)
+	}
+	s := string(body)
+	for _, want := range []string{`"count": 1`, `"` + id + `"`, `"overrun"`, `"req-1"`, `"cpu_bytes"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("listing missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfileHTTPPending(t *testing.T) {
+	e := New(Config{CPUDuration: 2 * time.Second, Cooldown: -1})
+	id, ok := e.Trip("latency", "r")
+	if !ok {
+		t.Fatal("trip suppressed")
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/profiles/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pending capture status %d, want 202", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("pending capture missing Retry-After")
+	}
+}

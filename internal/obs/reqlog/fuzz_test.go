@@ -1,0 +1,67 @@
+package reqlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent pins the parser's safety contract: on arbitrary
+// input it must never panic, and any value it accepts must round-trip
+// through String back to an equivalent, spec-valid identity. Seeds are
+// the W3C Trace Context spec's own examples plus the malformations its
+// test suite calls out.
+func FuzzParseTraceparent(f *testing.F) {
+	seeds := []string{
+		// Spec examples (sampled and unsampled).
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+		// All-zero trace-id / parent-id: invalid per spec.
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		// Unsupported / forbidden versions.
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		// Wrong lengths and separators.
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+		// Non-hex digits and uppercase (spec requires lowercase hex).
+		"00-zf92f3577b34da6a3ce929d0e0e4736z-00f067aa0ba902b7-01",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			if tc != (TraceContext{}) {
+				t.Fatalf("error with non-zero context: %q -> %+v", s, tc)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted invalid context from %q: %+v", s, tc)
+		}
+		// Round trip: rendering and reparsing must be lossless.
+		out := tc.String()
+		if len(out) != 55 {
+			t.Fatalf("String() length %d from %q", len(out), out)
+		}
+		tc2, err := ParseTraceparent(out)
+		if err != nil {
+			t.Fatalf("round trip rejected %q (from %q): %v", out, s, err)
+		}
+		if tc2 != tc {
+			t.Fatalf("round trip changed identity: %+v -> %+v", tc, tc2)
+		}
+		// The accepted id fields must mirror the input hex exactly
+		// (hex.Decode accepts uppercase; String lowercases — both are the
+		// same identity).
+		if !strings.EqualFold(s, out) {
+			t.Fatalf("identity differs from input: %q -> %q", s, out)
+		}
+	})
+}

@@ -46,6 +46,12 @@ func (r *Recorder) Handler() http.Handler {
 
 func (r *Recorder) handleRequests(w http.ResponseWriter, req *http.Request) {
 	outcome := Outcome(req.URL.Query().Get("outcome"))
+	if outcome != "" && !outcome.Valid() {
+		// A typo'd filter matching nothing is indistinguishable from "no
+		// such requests"; fail loudly instead.
+		http.Error(w, "reqlog: unknown outcome "+strconv.Quote(string(outcome)), http.StatusBadRequest)
+		return
+	}
 	limit := 0
 	if s := req.URL.Query().Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)

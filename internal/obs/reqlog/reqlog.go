@@ -63,6 +63,19 @@ func (o Outcome) boring() bool {
 	return o == OutcomeOK || o == OutcomeCached || o == OutcomeCoalesced
 }
 
+// Valid reports whether o is one of the defined outcome classes. The
+// /debug/requests handler rejects filters that are not — an unknown
+// outcome silently matching nothing looks exactly like "no such
+// requests", which is the wrong answer to give an operator mid-incident.
+func (o Outcome) Valid() bool {
+	switch o {
+	case OutcomeOK, OutcomeCached, OutcomeCoalesced, OutcomeDegraded,
+		OutcomeCanceled, OutcomeOverrun, OutcomeRejected, OutcomeError:
+		return true
+	}
+	return false
+}
+
 // Phase is one pipeline phase of a solve, mirrored from
 // solve.PhaseStat without importing the solver stack.
 type Phase struct {
@@ -103,6 +116,16 @@ type Record struct {
 
 	// Phases is the solve's phase timeline (from solve.Stats).
 	Phases []Phase `json:"phases,omitempty"`
+	// Progress is the solve's final live-progress snapshot (nodes,
+	// pivots, incumbent/bound/gap), stamped by the service when the
+	// solve returns — the terminal point of the trajectory
+	// /debug/solves showed while the request was in flight.
+	Progress *obs.SolveSnapshot `json:"progress,omitempty"`
+	// ProfileID links to the profile bundle this request's completion
+	// triggered (GET /debug/profiles/{id}); empty when no trigger is
+	// installed, the request was unremarkable, or the trigger was
+	// rate-limited.
+	ProfileID string `json:"profile_id,omitempty"`
 	// Spans is the request's span tree (capped at Config.MaxSpans);
 	// SpanCount is the number captured. The /debug/requests listing
 	// omits Spans — the per-request trace endpoint exports them.
@@ -120,6 +143,23 @@ type Config struct {
 	SampleEvery int
 	// MaxSpans caps the spans captured per request.
 	MaxSpans int
+	// Trigger, when set, is offered every anomalous completed request
+	// (budget overrun, shed/degraded, tail latency — the same
+	// conditions the keep logic always retains); a successful Trip's
+	// capture id is stamped on the record as ProfileID. internal/obs/
+	// prof.Engine implements it.
+	Trigger ProfileTrigger
+}
+
+// ProfileTrigger arms an evidence capture for an anomalous request.
+// Implementations must be safe for concurrent use and fast on the
+// suppressed path: Trip is called under the recorder's ring lock.
+type ProfileTrigger interface {
+	// Trip requests a capture attributed to requestID for the given
+	// reason ("overrun", "shed", "latency"). It returns the capture id
+	// and true when armed, or false when suppressed (rate limit,
+	// capture already running).
+	Trip(reason, requestID string) (id string, ok bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -299,6 +339,20 @@ func (r *Recorder) observe(rec Record) {
 		rec.Keep = "sampled"
 	}
 
+	// Anomalous completions offer the profiling trigger a shot at
+	// capturing evidence; the capture id (if one armed) lands on the
+	// record so /debug/requests links straight to /debug/profiles/{id}.
+	// The trigger runs its capture asynchronously — Trip itself is a
+	// rate-limit check — and never calls back into the recorder, so
+	// holding r.mu here is safe.
+	if r.cfg.Trigger != nil {
+		if reason := anomalyReason(rec); reason != "" {
+			if id, ok := r.cfg.Trigger.Trip(reason, rec.ID); ok {
+				rec.ProfileID = id
+			}
+		}
+	}
+
 	if len(r.ring) < r.cfg.Depth {
 		r.ring = append(r.ring, rec)
 		r.next = len(r.ring) % r.cfg.Depth
@@ -437,6 +491,11 @@ func (q *Request) SetQueueWait(d time.Duration) {
 	q.annotate(func(r *Record) { r.QueueWait = d })
 }
 
+// SetProgress records the solve's final live-progress snapshot.
+func (q *Request) SetProgress(s obs.SolveSnapshot) {
+	q.annotate(func(r *Record) { r.Progress = &s })
+}
+
 // addSpan appends one finished span, up to the per-request cap.
 func (q *Request) addSpan(d obs.SpanData) {
 	q.mu.Lock()
@@ -482,6 +541,22 @@ func (q *Request) End() {
 	rec := q.r
 	q.mu.Unlock()
 	q.rec.observe(rec)
+}
+
+// anomalyReason maps a kept record to the profiling trigger reason it
+// justifies, or "" for records that are merely retained (errors and
+// rejections are kept for the ring but are cheap fast paths — profiling
+// them would tell us nothing about solver behavior).
+func anomalyReason(rec Record) string {
+	switch {
+	case rec.Outcome == OutcomeOverrun || rec.Overrun:
+		return "overrun"
+	case rec.Outcome == OutcomeDegraded:
+		return "shed"
+	case rec.Keep == "latency":
+		return "latency"
+	}
+	return ""
 }
 
 // deriveOutcome classifies requests nothing annotated (plain HTTP

@@ -32,15 +32,18 @@ func ParseTraceparent(s string) (TraceContext, error) {
 	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
 		return tc, fmt.Errorf("reqlog: malformed traceparent %q", s)
 	}
+	// Error paths return the zero context, never a partially decoded
+	// one: hex.Decode fills the prefix before the offending digit, and
+	// handing that partial identity back with an error invites misuse.
 	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
-		return tc, fmt.Errorf("reqlog: bad trace-id in %q: %w", s, err)
+		return TraceContext{}, fmt.Errorf("reqlog: bad trace-id in %q: %w", s, err)
 	}
 	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
-		return tc, fmt.Errorf("reqlog: bad parent-id in %q: %w", s, err)
+		return TraceContext{}, fmt.Errorf("reqlog: bad parent-id in %q: %w", s, err)
 	}
 	var flags [1]byte
 	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
-		return tc, fmt.Errorf("reqlog: bad flags in %q: %w", s, err)
+		return TraceContext{}, fmt.Errorf("reqlog: bad flags in %q: %w", s, err)
 	}
 	tc.Flags = flags[0]
 	if !tc.Valid() {

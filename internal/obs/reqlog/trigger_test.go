@@ -1,0 +1,167 @@
+package reqlog
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTrigger records trips and arms every other one.
+type fakeTrigger struct {
+	mu    sync.Mutex
+	trips []string // "reason/requestID"
+	deny  bool     // suppress all trips
+	n     int
+}
+
+func (f *fakeTrigger) Trip(reason, requestID string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trips = append(f.trips, reason+"/"+requestID)
+	if f.deny {
+		return "", false
+	}
+	f.n++
+	return fmt.Sprintf("prof-%04d", f.n), true
+}
+
+func (f *fakeTrigger) calls() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trips...)
+}
+
+func TestTriggerTripsOnAnomalies(t *testing.T) {
+	tr := &fakeTrigger{}
+	r := NewRecorder(Config{Depth: 64, SampleEvery: 1, Trigger: tr})
+	defer r.Close()
+
+	mkRecord(r, "ok-1", OutcomeOK, time.Millisecond)
+	mkRecord(r, "over-1", OutcomeOverrun, time.Millisecond)
+	mkRecord(r, "shed-1", OutcomeDegraded, time.Millisecond)
+	mkRecord(r, "err-1", OutcomeError, time.Millisecond) // kept, but not profile-worthy
+	r.observe(Record{ID: "over-2", Outcome: OutcomeOK, Overrun: true, Wall: time.Millisecond})
+
+	want := []string{"overrun/over-1", "shed/shed-1", "overrun/over-2"}
+	got := tr.calls()
+	if len(got) != len(want) {
+		t.Fatalf("trips = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trip %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Armed trips stamp the capture id on the record.
+	rec, ok := r.Find("over-1")
+	if !ok || rec.ProfileID != "prof-0001" {
+		t.Fatalf("over-1 profile id %q (found %v)", rec.ProfileID, ok)
+	}
+	if rec, _ := r.Find("ok-1"); rec.ProfileID != "" {
+		t.Fatalf("boring record has profile id %q", rec.ProfileID)
+	}
+	if rec, _ := r.Find("err-1"); rec.ProfileID != "" {
+		t.Fatalf("error record has profile id %q", rec.ProfileID)
+	}
+}
+
+func TestTriggerTripsOnTailLatency(t *testing.T) {
+	tr := &fakeTrigger{}
+	// SampleEvery huge: only latency retention keeps boring requests.
+	r := NewRecorder(Config{Depth: 1024, SampleEvery: 1 << 30, Trigger: tr})
+	defer r.Close()
+
+	for i := 0; i < latMin; i++ {
+		mkRecord(r, fmt.Sprintf("fast-%d", i), OutcomeOK, time.Millisecond)
+	}
+	mkRecord(r, "slow-1", OutcomeOK, 10*time.Second)
+
+	rec, ok := r.Find("slow-1")
+	if !ok || rec.Keep != "latency" {
+		t.Fatalf("slow request keep=%q found=%v", rec.Keep, ok)
+	}
+	if rec.ProfileID == "" {
+		t.Fatal("tail-latency record did not trip the trigger")
+	}
+	// Warm-up records at the fresh threshold may trip too; every trip
+	// must be a latency one, and slow-1's must be among them.
+	sawSlow := false
+	for _, call := range tr.calls() {
+		if call == "latency/slow-1" {
+			sawSlow = true
+		} else if !strings.HasPrefix(call, "latency/fast-") {
+			t.Fatalf("unexpected trip %q", call)
+		}
+	}
+	if !sawSlow {
+		t.Fatalf("no trip for slow-1: %v", tr.calls())
+	}
+}
+
+func TestTriggerSuppressedLeavesNoProfileID(t *testing.T) {
+	tr := &fakeTrigger{deny: true}
+	r := NewRecorder(Config{Depth: 8, SampleEvery: 1, Trigger: tr})
+	defer r.Close()
+	mkRecord(r, "over-1", OutcomeOverrun, time.Millisecond)
+	if len(tr.calls()) != 1 {
+		t.Fatalf("trips = %v", tr.calls())
+	}
+	if rec, _ := r.Find("over-1"); rec.ProfileID != "" {
+		t.Fatalf("suppressed trip stamped profile id %q", rec.ProfileID)
+	}
+}
+
+func TestOutcomeValid(t *testing.T) {
+	for _, o := range []Outcome{OutcomeOK, OutcomeCached, OutcomeCoalesced, OutcomeDegraded,
+		OutcomeCanceled, OutcomeOverrun, OutcomeRejected, OutcomeError} {
+		if !o.Valid() {
+			t.Errorf("Valid(%q) = false", o)
+		}
+	}
+	for _, o := range []Outcome{"", "bogus", "OK", "Degraded", "ok "} {
+		if o.Valid() {
+			t.Errorf("Valid(%q) = true", o)
+		}
+	}
+}
+
+func TestRequestsEndpointRejectsBadQueries(t *testing.T) {
+	r := NewRecorder(Config{Depth: 8, SampleEvery: 1})
+	defer r.Close()
+	mkRecord(r, "q-1", OutcomeOK, time.Millisecond)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	status := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for _, q := range []string{
+		"?outcome=bogus",
+		"?outcome=OK", // case-sensitive: the classes are lowercase
+		"?outcome=degraded%20",
+		"?limit=-1",
+		"?limit=bogus",
+		"?limit=1.5",
+	} {
+		if code := status(srv.URL + "/debug/requests" + q); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+	for _, q := range []string{"", "?outcome=degraded", "?outcome=overrun&limit=5", "?limit=0"} {
+		if code := status(srv.URL + "/debug/requests" + q); code != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", q, code)
+		}
+	}
+}

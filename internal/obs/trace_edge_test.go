@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTrace asserts the writer produced a JSON array (never null or
+// an object) and returns the events.
+func decodeTrace(t *testing.T, spans []SpanData) []map[string]any {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if !strings.HasPrefix(out, "[") {
+		t.Fatalf("trace is not a JSON array: %q", out)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("trace does not parse: %v\n%s", err, out)
+	}
+	return events
+}
+
+func TestChromeTraceEmptySpanSet(t *testing.T) {
+	events := decodeTrace(t, nil)
+	if len(events) != 0 {
+		t.Fatalf("empty span set produced %d events", len(events))
+	}
+	// Explicitly: "[]", not "null" — Perfetto rejects null.
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []SpanData{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Fatalf("empty trace = %q, want []", got)
+	}
+}
+
+func TestChromeTraceZeroDurationSpans(t *testing.T) {
+	now := time.Now()
+	spans := []SpanData{
+		{Name: "root", ID: 1, Root: 1, Start: now, Duration: 0},
+		{Name: "instant-child", ID: 2, Root: 1, Parent: 1, Start: now, Duration: 0},
+	}
+	events := decodeTrace(t, spans)
+	// thread_name metadata + 2 complete events.
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		// dur omitted (omitempty) or 0 — but ts must be present and finite.
+		if d, ok := e["dur"]; ok && d.(float64) != 0 {
+			t.Fatalf("zero-duration span has dur %v", d)
+		}
+		if ts, ok := e["ts"].(float64); !ok || ts != 0 {
+			t.Fatalf("zero-duration span ts = %v, want 0", e["ts"])
+		}
+	}
+}
+
+func TestChromeTraceDeeplyNestedTree(t *testing.T) {
+	// A 64-deep chain under one root: every span lands on the root's
+	// thread row and the timeline stays monotone.
+	const depth = 64
+	t0 := time.Now()
+	spans := make([]SpanData, 0, depth)
+	for i := 0; i < depth; i++ {
+		parent := uint64(i) // 0 for the root
+		spans = append(spans, SpanData{
+			Name: "level", ID: uint64(i + 1), Root: 1, Parent: parent,
+			Start:    t0.Add(time.Duration(i) * time.Millisecond),
+			Duration: time.Duration(depth-i) * time.Millisecond,
+		})
+	}
+	events := decodeTrace(t, spans)
+	if len(events) != depth+1 { // one thread_name + depth complete events
+		t.Fatalf("got %d events, want %d", len(events), depth+1)
+	}
+	threadNames := 0
+	for _, e := range events {
+		if e["ph"] == "M" {
+			threadNames++
+			continue
+		}
+		if tid := e["tid"].(float64); tid != 1 {
+			t.Fatalf("span on tid %v, want root row 1", tid)
+		}
+	}
+	if threadNames != 1 {
+		t.Fatalf("%d thread_name rows, want 1", threadNames)
+	}
+}
+
+func TestChromeTraceMultipleRoots(t *testing.T) {
+	t0 := time.Now()
+	spans := []SpanData{
+		{Name: "bench-A", ID: 1, Root: 1, Start: t0, Duration: time.Millisecond},
+		{Name: "bench-B", ID: 2, Root: 2, Start: t0.Add(time.Microsecond), Duration: time.Millisecond},
+	}
+	events := decodeTrace(t, spans)
+	rows := map[float64]bool{}
+	threadNames := 0
+	for _, e := range events {
+		if e["ph"] == "M" {
+			threadNames++
+		}
+		rows[e["tid"].(float64)] = true
+	}
+	if threadNames != 2 || len(rows) != 2 {
+		t.Fatalf("want 2 named rows, got %d names over %d rows", threadNames, len(rows))
+	}
+}

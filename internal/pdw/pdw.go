@@ -156,6 +156,10 @@ func OptimizeContext(ctx context.Context, base *schedule.Schedule, opts Options)
 		obs.A("exact_windows", !opts.HeuristicWindows))
 	defer span.End()
 	stats := &solve.Stats{}
+	// Mirror phase transitions and cancellation into the live progress
+	// view when the root caller (service request, CLI, benchmark)
+	// attached one to the context.
+	stats.BindProgress(solve.ProgressFromContext(ctx))
 	cp := solve.NewCheckpoint(ctx)
 	pol := contam.Policy{}
 	if opts.DisableNecessity {

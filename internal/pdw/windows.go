@@ -105,6 +105,7 @@ func optimizeWindows(ctx context.Context, plan *replan.Plan, greedy *schedule.Sc
 		}
 	}
 
+	solve.ProgressFromContext(ctx).SetModel("window-milp")
 	res, err := milp.SolveContext(ctx, prob, milp.Options{TimeLimit: limit, Incumbent: inc})
 	if err != nil {
 		return nil, false, err

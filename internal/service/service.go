@@ -332,7 +332,7 @@ func (s *Server) runLeader(ctx context.Context, req *SolveRequest) *outcome {
 	wait, err := s.pool.DoTimed(ctx, func(ctx context.Context) {
 		s.mInflight.Set(int64(s.pool.Running()))
 		start := time.Now()
-		resp, err := s.solveFn(ctx, req.request())
+		resp, err := s.runSolve(ctx, req)
 		s.mSolveSec.Observe(time.Since(start).Seconds())
 		if err != nil {
 			out = &outcome{err: err}
@@ -364,13 +364,29 @@ func (s *Server) shedSolve(ctx context.Context, req *SolveRequest) *outcome {
 	if shed.Options.Budget.Total <= 0 || shed.Options.Budget.Total > s.cfg.ShedBudget {
 		shed.Options.Budget.Total = s.cfg.ShedBudget
 	}
-	resp, err := s.solveFn(ctx, shed.request())
+	resp, err := s.runSolve(ctx, &shed)
 	if err != nil {
 		return &outcome{err: err}
 	}
 	wire := buildResponse(resp)
 	wire.Degraded = true
 	return &outcome{resp: wire, sched: resp.Schedule}
+}
+
+// runSolve invokes the solver with a live progress view attached: for
+// the solve's duration it is listed on /debug/solves (keyed by the
+// request id when one is in flight, so an operator can go from a slow
+// request straight to its live nodes/pivots/gap), and the final
+// snapshot is stamped onto the flight-recorder record when it closes.
+func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*pathdriver.Response, error) {
+	prog := solve.NewProgress()
+	ctx = solve.WithProgress(ctx, prog)
+	q := reqlog.FromContext(ctx)
+	unregister := obs.RegisterSolve(q.ID(), "request", string(req.Method), prog.Snapshot)
+	defer unregister()
+	resp, err := s.solveFn(ctx, req.request())
+	q.SetProgress(prog.Snapshot())
+	return resp, err
 }
 
 // buildResponse lowers a library response onto the wire shape.

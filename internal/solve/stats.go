@@ -71,6 +71,33 @@ type Stats struct {
 	// Canceled reports that the run's context was canceled or its
 	// deadline expired and later phases degraded to incumbents.
 	Canceled bool `json:"canceled,omitempty"`
+
+	// progress is the optional live view of the run (see Progress):
+	// StartPhase and MarkCanceled mirror into it so /debug/solves shows
+	// the current phase without any extra call-site bookkeeping. Not
+	// marshaled — the wire carries final Stats, the registry live ones.
+	progress *Progress
+}
+
+// BindProgress attaches a live progress view: subsequent StartPhase
+// and MarkCanceled calls mirror into it. Nil-safe on both sides.
+func (s *Stats) BindProgress(p *Progress) {
+	if s == nil || p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.progress = p
+	s.mu.Unlock()
+}
+
+// Progress returns the bound live view, or nil.
+func (s *Stats) Progress() *Progress {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.progress
 }
 
 // StartPhase opens a named phase and returns the closer that records
@@ -82,6 +109,7 @@ func (s *Stats) StartPhase(name string) func() {
 	if s == nil {
 		return func() {}
 	}
+	s.Progress().SetPhase(name)
 	t0 := time.Now()
 	return func() {
 		wall := time.Since(t0)
@@ -175,8 +203,10 @@ func (s *Stats) MarkCanceled() {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	p := s.progress
 	s.Canceled = true
+	s.mu.Unlock()
+	p.MarkCanceled()
 }
 
 // Nodes sums explored branch & bound nodes over all ILP solves.

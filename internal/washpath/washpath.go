@@ -269,12 +269,16 @@ func buildILP(ctx context.Context, chip *grid.Chip, req Request, opts Options, h
 			return Plan{}, fmt.Errorf("washpath: %w during cut round %d", solve.ErrBudgetExceeded, round)
 		}
 		prob := m.problem(extraCuts)
+		label := fmt.Sprintf("wash-path[%dt r%d]", len(req.Targets), round)
+		// Publish the model about to be solved so /debug/solves names the
+		// ILP the node/pivot counters currently belong to.
+		solve.ProgressFromContext(ctx).SetModel(label)
 		res, err := milp.SolveContext(ctx, prob, milp.Options{TimeLimit: remain})
 		if err != nil {
 			return Plan{}, err
 		}
 		opts.Trace.AddMILP(solve.MILPStat{
-			Label: fmt.Sprintf("wash-path[%dt r%d]", len(req.Targets), round),
+			Label: label,
 			Vars:  prob.LP.NumVars, IntVars: prob.LP.NumVars,
 			Constraints: len(prob.LP.Constraints),
 			Nodes:       res.Nodes, Pruned: res.Pruned, SimplexIters: res.SimplexIters,

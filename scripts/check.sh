@@ -32,7 +32,7 @@ go vet ./...
 echo "==> go test -short ./..."
 go test -short ./...
 
-echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service"
-go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service
+echo "==> go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/prof ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service"
+go test -race -short ./internal/harness ./internal/milp ./internal/obs ./internal/obs/prof ./internal/obs/reqlog ./internal/report ./internal/corpus ./internal/synth ./internal/service
 
 echo "All checks passed."
